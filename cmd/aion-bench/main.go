@@ -1,0 +1,101 @@
+// Command aion-bench regenerates the paper's evaluation tables and figures
+// (Sec 6) on scaled-down synthetic stand-ins for the Table 3 datasets.
+//
+// Usage:
+//
+//	aion-bench -exp all                 # every experiment
+//	aion-bench -exp fig7 -scale 100     # one figure at 1/100 scale
+//	aion-bench -exp table3,fig6,fig11
+//
+// Experiments: table3, table4, fig6, fig7, fig8, fig9, fig10, fig11,
+// fig12, fig13, fig14, ext (incremental SSSP/colouring extension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aion/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiments to run (or 'all')")
+		scale    = flag.Int("scale", 1000, "dataset scale divisor vs Table 3 (100 = larger, slower)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: first four)")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		pointOps = flag.Int("pointops", 20000, "point queries per system (paper: 1M)")
+		globals  = flag.Int("globalops", 20, "snapshot retrievals per system (paper: 100)")
+		workdir  = flag.String("dir", "", "working directory for store files (default: temp)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:     *scale,
+		Seed:      *seed,
+		PointOps:  *pointOps,
+		GlobalOps: *globals,
+		Out:       os.Stdout,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	base := *workdir
+	if base == "" {
+		var err error
+		base, err = os.MkdirTemp("", "aion-bench-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(base)
+	}
+	mkdir := func(name string) string {
+		d, err := os.MkdirTemp(base, strings.ReplaceAll(name, "/", "_")+"-*")
+		if err != nil {
+			fail(err)
+		}
+		return d
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		fmt.Printf("\n--- running %s ---\n", name)
+		if err := fn(); err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	run("table3", func() error { _, err := bench.RunTable3(cfg); return err })
+	run("fig6", func() error { _, err := bench.RunFig6(cfg, mkdir); return err })
+	run("fig7", func() error { _, err := bench.RunFig7(cfg, mkdir); return err })
+	run("fig8", func() error { _, err := bench.RunFig8(cfg, mkdir, nil, 0); return err })
+	run("table4", func() error { _, err := bench.RunTable4(cfg, mkdir); return err })
+	run("fig9", func() error { _, err := bench.RunFig9(cfg, mkdir, 1000, 8); return err })
+	run("fig10", func() error { _, err := bench.RunFig10(cfg, mkdir); return err })
+	run("fig11", func() error { _, err := bench.RunFig11(cfg, mkdir, nil, 32); return err })
+	run("fig12", func() error { _, err := bench.RunFig12(cfg, []int{10, 100}); return err })
+	run("fig13", func() error { _, err := bench.RunFig13(cfg, mkdir, 8, 100); return err })
+	run("fig14", func() error { _, err := bench.RunFig14(cfg, mkdir, []int{10}); return err })
+	run("ext", func() error { _, err := bench.RunExtensionIncremental(cfg, []int{10, 100}); return err })
+
+	if ran == 0 {
+		fail(fmt.Errorf("unknown experiment(s) %q", *exp))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aion-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command aion-server runs a host graph database with Aion attached and
+// serves temporal Cypher over the Bolt-like protocol (Sec 6.7).
+//
+// Usage:
+//
+//	aion-server -addr 127.0.0.1:7687 -dir /var/lib/aion
+//
+// Connect with cmd/aion-shell or the internal/bolt client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/system"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7687", "listen address")
+		dir  = flag.String("dir", "", "storage directory (default: temp)")
+	)
+	flag.Parse()
+
+	opts := system.Options{Dir: *dir}
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "aion-server-*")
+		if err != nil {
+			fail(err)
+		}
+		opts.Dir = d
+		fmt.Println("storage:", d)
+	}
+	sys, err := system.Open(opts)
+	if err != nil {
+		fail(err)
+	}
+	defer sys.Close()
+
+	srv := bolt.NewServer(cypher.NewEngine(sys))
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("aion-server listening on", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aion-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command aion-shell is an interactive temporal-Cypher REPL. It either
+// embeds a local store (-dir) or connects to an aion-server over Bolt
+// (-addr), and can run a statement file non-interactively (-f).
+//
+// Usage:
+//
+//	aion-shell                       # embedded, temp storage
+//	aion-shell -dir ./mygraph        # embedded, persistent
+//	aion-shell -addr 127.0.0.1:7687  # remote over Bolt
+//	aion-shell -f load.cypher        # scripted (one statement per line)
+//
+// Example session:
+//
+//	> CREATE (a:Person {name: 'ada'})-[:KNOWS]->(b:Person {name: 'bob'})
+//	> MATCH (n:Person) RETURN n.name
+//	> USE GDB FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/repl"
+	"aion/internal/system"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "embedded storage directory (default: temp)")
+		addr   = flag.String("addr", "", "connect to a Bolt server instead of embedding")
+		script = flag.String("f", "", "run statements from this file and exit")
+	)
+	flag.Parse()
+
+	var exec repl.Executor
+	if *addr != "" {
+		client, err := bolt.Dial(*addr)
+		if err != nil {
+			fail(err)
+		}
+		defer client.Close()
+		exec = repl.RemoteExecutor{Client: client}
+	} else {
+		opts := system.Options{Dir: *dir}
+		if *dir == "" {
+			d, err := os.MkdirTemp("", "aion-shell-*")
+			if err != nil {
+				fail(err)
+			}
+			opts.Dir = d
+		}
+		sys, err := system.Open(opts)
+		if err != nil {
+			fail(err)
+		}
+		defer sys.Close()
+		exec = repl.EmbeddedExecutor{Engine: cypher.NewEngine(sys)}
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fail(err)
+		}
+		if err := repl.Script(strings.Split(string(data), "\n"), os.Stdout, exec); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Println("aion-shell — temporal Cypher; :help for help, :quit to exit")
+	if err := repl.Run(os.Stdin, os.Stdout, exec); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aion-shell:", err)
+	os.Exit(1)
+}

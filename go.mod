@@ -1,0 +1,3 @@
+module aion
+
+go 1.22

@@ -1,0 +1,307 @@
+package aion
+
+import (
+	"testing"
+
+	"aion/internal/model"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return db
+}
+
+// socialUpdates builds a small social graph: Person nodes 0..9 at ts 1..10,
+// KNOWS rels forming a ring at ts 11..20, a property update at 21, a rel
+// deletion at 22.
+func socialUpdates() []model.Update {
+	var us []model.Update
+	ts := model.Timestamp(1)
+	for i := 0; i < 10; i++ {
+		us = append(us, model.AddNode(ts, model.NodeID(i), []string{"Person"},
+			model.Properties{"name": model.StringValue(string(rune('a' + i)))}))
+		ts++
+	}
+	for i := 0; i < 10; i++ {
+		us = append(us, model.AddRel(ts, model.RelID(i), model.NodeID(i), model.NodeID((i+1)%10), "KNOWS", nil))
+		ts++
+	}
+	us = append(us, model.UpdateNode(21, 0, []string{"VIP"}, nil, nil, nil))
+	us = append(us, model.DeleteRel(22, 5, 5, 6))
+	return us
+}
+
+func TestHybridEndToEnd(t *testing.T) {
+	db := openDB(t, Options{})
+	if err := db.ApplyBatch(socialUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitSync(); err != nil {
+		t.Fatal(err)
+	}
+	// Point query via LineageStore.
+	ns, err := db.GetNode(0, 15, 15)
+	if err != nil || len(ns) != 1 {
+		t.Fatalf("GetNode: %v %v", ns, err)
+	}
+	if ns[0].HasLabel("VIP") {
+		t.Error("VIP label must not be visible at ts 15")
+	}
+	ns, _ = db.GetNode(0, 21, 21)
+	if len(ns) != 1 || !ns[0].HasLabel("VIP") {
+		t.Error("VIP label must be visible at ts 21")
+	}
+	// Rels and their deletion.
+	rels, _ := db.GetRelationships(5, model.Outgoing, 21, 21)
+	if len(rels) != 1 {
+		t.Errorf("node 5 out-rels at 21: %d", len(rels))
+	}
+	rels, _ = db.GetRelationships(5, model.Outgoing, 22, 22)
+	if len(rels) != 0 {
+		t.Errorf("node 5 out-rels at 22: %d", len(rels))
+	}
+	// Both stores must have recorded the decisions.
+	lineage, _ := db.PlannerDecisions()
+	if lineage == 0 {
+		t.Error("lineage store should have served point queries")
+	}
+}
+
+func TestGlobalQueries(t *testing.T) {
+	db := openDB(t, Options{SnapshotEveryOps: 8})
+	if err := db.ApplyBatch(socialUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := db.GraphAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 10 || g.RelCount() != 10 {
+		t.Errorf("graph at 20: %d/%d", g.NodeCount(), g.RelCount())
+	}
+	g, _ = db.GraphAt(22)
+	if g.RelCount() != 9 {
+		t.Errorf("graph at 22 rels = %d", g.RelCount())
+	}
+	series, err := db.GetGraph(5, 20, 5)
+	if err != nil || len(series) != 4 {
+		t.Fatalf("series: %d %v", len(series), err)
+	}
+	diff, _ := db.GetDiff(11, 21)
+	if len(diff) != 10 {
+		t.Errorf("diff [11,21) = %d", len(diff))
+	}
+	tg, err := db.GetTemporalGraph(1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.RelAt(5, 21) == nil || tg.RelAt(5, 22) != nil {
+		t.Error("temporal graph rel 5 lifetime")
+	}
+	win, err := db.GetWindow(15, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.NodeCount() != 10 {
+		t.Errorf("window nodes = %d", win.NodeCount())
+	}
+}
+
+func TestPlannerHeuristic(t *testing.T) {
+	db := openDB(t, Options{})
+	if err := db.ApplyBatch(socialUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	db.WaitSync()
+	// Ring of 10 nodes, avg degree 1: 1 hop touches ~2/10 < 30% ->
+	// lineage; 8 hops touch ~9/10 -> timestore.
+	if c := db.PlanExpand(1, model.Outgoing, 22); c != ChoseLineage {
+		t.Errorf("1-hop plan = %v", c)
+	}
+	if c := db.PlanExpand(8, model.Outgoing, 22); c != ChoseTimeStore {
+		t.Errorf("8-hop plan = %v", c)
+	}
+	// Both paths return the same frontier.
+	viaLS, err := db.LineageStore().Expand(0, model.Outgoing, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTS, err := db.ExpandViaTimeStore(0, model.Outgoing, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; hop < 3; hop++ {
+		if len(viaLS[hop]) != len(viaTS[hop]) {
+			t.Errorf("hop %d: lineage %d vs timestore %d nodes",
+				hop, len(viaLS[hop]), len(viaTS[hop]))
+		}
+	}
+}
+
+func TestExpandPicksStoreAndAgrees(t *testing.T) {
+	db := openDB(t, Options{})
+	db.ApplyBatch(socialUpdates())
+	db.WaitSync()
+	res, err := db.Expand(0, model.Both, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring: hop 1 = {1, 9}, hop 2 = {2, 8, 0}.
+	if len(res[0]) != 2 {
+		t.Errorf("hop 1 = %d nodes", len(res[0]))
+	}
+}
+
+func TestLineageLagFallback(t *testing.T) {
+	// In hybrid mode with the cascade not yet drained, queries must fall
+	// back to the TimeStore and still return correct answers.
+	db := openDB(t, Options{AsyncQueueDepth: 4096})
+	us := socialUpdates()
+	// Apply updates one by one without waiting.
+	for _, u := range us {
+		if err := db.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Immediately query; whichever store answers must be right.
+	ns, err := db.GetNode(0, 21, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || !ns[0].HasLabel("VIP") {
+		t.Error("fallback query wrong")
+	}
+	db.WaitSync()
+	if db.LineageStore().AppliedThrough() != 22 {
+		t.Errorf("cascade incomplete: %d", db.LineageStore().AppliedThrough())
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncBoth, SyncTimeStoreOnly, SyncLineageOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := openDB(t, Options{Mode: mode})
+			if err := db.ApplyBatch(socialUpdates()); err != nil {
+				t.Fatal(err)
+			}
+			if mode != SyncTimeStoreOnly {
+				ns, err := db.LineageStore().GetNode(0, 21, 21)
+				if err != nil || len(ns) != 1 {
+					t.Errorf("lineage query: %v %v", ns, err)
+				}
+			}
+			if mode != SyncLineageOnly {
+				g, err := db.GraphAt(22)
+				if err != nil || g.NodeCount() != 10 {
+					t.Errorf("timestore query: %v", err)
+				}
+			} else {
+				if _, err := db.GraphAt(22); err != ErrNoStore {
+					t.Errorf("lineage-only global query must fail with ErrNoStore, got %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	db := openDB(t, Options{})
+	db.ApplyBatch(socialUpdates())
+	st := db.Stats()
+	if st.Nodes() != 10 {
+		t.Errorf("nodes = %d", st.Nodes())
+	}
+	if st.Rels() != 9 { // 10 created, 1 deleted
+		t.Errorf("rels = %d", st.Rels())
+	}
+	if st.NodesWithLabel("Person") != 10 {
+		t.Errorf("Person = %d", st.NodesWithLabel("Person"))
+	}
+	if st.NodesWithLabel("VIP") != 1 {
+		t.Errorf("VIP = %d", st.NodesWithLabel("VIP"))
+	}
+	if st.RelsWithType("KNOWS") != 9 {
+		t.Errorf("KNOWS = %d", st.RelsWithType("KNOWS"))
+	}
+	if est := st.EstimatePattern("Person", "KNOWS", "Person"); est != 9 {
+		t.Errorf("pattern estimate = %d", est)
+	}
+	if est := st.EstimatePattern("City", "KNOWS", ""); est != 0 {
+		t.Errorf("absent label estimate = %d", est)
+	}
+}
+
+func TestBitemporalFilter(t *testing.T) {
+	mk := func(start, end int64) *model.Node {
+		return &model.Node{Props: model.Properties{
+			model.AppStartKey: model.IntValue(start),
+			model.AppEndKey:   model.IntValue(end),
+		}}
+	}
+	nodes := []*model.Node{
+		mk(5, 10),
+		mk(1, 3),
+		mk(8, 20),
+		{Props: model.Properties{}}, // no app time: falls back to system time
+	}
+	got := FilterBitemporal(nodes, 4, 12)
+	if len(got) != 2 { // [5,10] contained; no-app-time kept
+		t.Fatalf("filtered = %d, want 2", len(got))
+	}
+}
+
+func TestDiskBytesReported(t *testing.T) {
+	db := openDB(t, Options{SnapshotEveryOps: 5})
+	db.ApplyBatch(socialUpdates())
+	db.WaitSync()
+	tsBytes, lsBytes := db.DiskBytes()
+	if tsBytes == 0 || lsBytes == 0 {
+		t.Errorf("disk bytes: ts %d ls %d", tsBytes, lsBytes)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyBatch(socialUpdates()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitSync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.LatestTimestamp() != 22 {
+		t.Errorf("reopened latest ts = %d", db2.LatestTimestamp())
+	}
+	g, err := db2.GraphAt(22)
+	if err != nil || g.NodeCount() != 10 || g.RelCount() != 9 {
+		t.Errorf("reopened graph: %v", err)
+	}
+	ns, err := db2.GetNode(0, 21, 21)
+	if err != nil || len(ns) != 1 || !ns[0].HasLabel("VIP") {
+		t.Errorf("reopened point query: %v %v", ns, err)
+	}
+}

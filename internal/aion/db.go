@@ -1,0 +1,366 @@
+// Package aion implements the Aion hybrid temporal graph store (Secs 4-5):
+// a TimeStore for global queries, a LineageStore for point and small
+// subgraph queries, the GraphStore snapshot cache, a planner that chooses a
+// store from estimated cardinality, and the temporal graph API of Table 1.
+//
+// On the write path Aion updates only the TimeStore synchronously;
+// background workers cascade outstanding updates to the LineageStore off
+// the transaction critical path (Sec 5.1). When the LineageStore lags
+// behind a query's timestamp, Aion transparently falls back to the
+// TimeStore at a performance penalty.
+package aion
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"aion/internal/enc"
+	"aion/internal/lineagestore"
+	"aion/internal/model"
+	"aion/internal/strstore"
+	"aion/internal/timestore"
+)
+
+// SyncMode selects which temporal stores a write transaction updates
+// synchronously (the Fig 9 ingestion-overhead configurations).
+type SyncMode int
+
+const (
+	// SyncHybrid updates the TimeStore synchronously and the LineageStore
+	// asynchronously in the background — Aion's production mode (Sec 5.1).
+	SyncHybrid SyncMode = iota
+	// SyncBoth updates both stores on the commit path (the "TS+LS" bar).
+	SyncBoth
+	// SyncTimeStoreOnly maintains only the TimeStore.
+	SyncTimeStoreOnly
+	// SyncLineageOnly maintains only the LineageStore.
+	SyncLineageOnly
+)
+
+// String returns the mode name as used in the Fig 9 legend.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncHybrid:
+		return "Hybrid"
+	case SyncBoth:
+		return "TS+LS"
+	case SyncTimeStoreOnly:
+		return "TimeStore"
+	case SyncLineageOnly:
+		return "LineageStore"
+	}
+	return "?"
+}
+
+// SelectivityThreshold is the planner heuristic of Sec 5.1: if a query is
+// estimated to access less than this fraction of the graph it runs on the
+// LineageStore, otherwise Aion constructs a snapshot with the TimeStore.
+const SelectivityThreshold = 0.30
+
+// Options configures an Aion store.
+type Options struct {
+	// Dir is the root directory; subdirectories hold each store. Empty
+	// means a fresh temporary directory.
+	Dir string
+	// Mode selects the write-path synchronization (default SyncHybrid).
+	Mode SyncMode
+	// ChainThreshold is LineageStore's delta materialization threshold.
+	ChainThreshold int
+	// SnapshotEveryOps is TimeStore's operation-based snapshot policy.
+	SnapshotEveryOps int
+	// GraphStoreBytes is the snapshot cache budget.
+	GraphStoreBytes int64
+	// AsyncQueueDepth bounds the background cascade queue (batches).
+	AsyncQueueDepth int
+}
+
+// DB is an Aion hybrid temporal store instance.
+type DB struct {
+	opts    Options
+	strings *strstore.Store
+	codec   *enc.Codec
+	ts      *timestore.Store
+	ls      *lineagestore.Store
+	stats   *GraphStats
+	catalog *entityCatalog
+
+	queue   chan cascadeItem
+	wg      sync.WaitGroup
+	bgErr   atomic.Value // error from the background worker
+	closed  atomic.Bool
+	decided struct { // planner decision counters, for tests and ablation
+		lineage atomic.Int64
+		time    atomic.Int64
+	}
+}
+
+// Open creates or reopens an Aion store.
+func Open(opts Options) (*DB, error) {
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "aion-*")
+		if err != nil {
+			return nil, err
+		}
+		opts.Dir = dir
+	}
+	if opts.AsyncQueueDepth <= 0 {
+		opts.AsyncQueueDepth = 1024
+	}
+	for _, sub := range []string{"timestore", "lineage"} {
+		if err := os.MkdirAll(filepath.Join(opts.Dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	strings, err := strstore.Open(filepath.Join(opts.Dir, "strings.db"))
+	if err != nil {
+		return nil, err
+	}
+	codec := enc.NewCodec(strings)
+	db := &DB{opts: opts, strings: strings, codec: codec,
+		stats: NewGraphStats(), catalog: newEntityCatalog()}
+
+	if opts.Mode != SyncLineageOnly {
+		db.ts, err = timestore.Open(codec, timestore.Options{
+			Dir:              filepath.Join(opts.Dir, "timestore"),
+			SnapshotEveryOps: opts.SnapshotEveryOps,
+			GraphStoreBytes:  opts.GraphStoreBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Mode != SyncTimeStoreOnly {
+		db.ls, err = lineagestore.Open(codec, lineagestore.Options{
+			Dir:            filepath.Join(opts.Dir, "lineage"),
+			ChainThreshold: opts.ChainThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if db.ts != nil {
+		db.rebuildStatsFromLatest()
+	}
+	if opts.Mode == SyncHybrid {
+		db.queue = make(chan cascadeItem, opts.AsyncQueueDepth)
+		db.wg.Add(1)
+		go db.cascadeWorker()
+	}
+	return db, nil
+}
+
+// rebuildStatsFromLatest repopulates the planner histograms and the entity
+// catalog from the recovered latest graph after a reopen.
+func (db *DB) rebuildStatsFromLatest() {
+	latest := db.ts.GraphStore().Latest()
+	db.catalog.mu.Lock()
+	defer db.catalog.mu.Unlock()
+	latest.ForEachNode(func(n *model.Node) bool {
+		db.stats.OnAddNode(n.Labels)
+		db.catalog.nodeLabels[n.ID] = append([]string(nil), n.Labels...)
+		return true
+	})
+	latest.ForEachRel(func(r *model.Rel) bool {
+		db.stats.OnAddRel(r.Label, db.catalog.nodeLabels[r.Src], db.catalog.nodeLabels[r.Tgt])
+		db.catalog.relTypes[r.ID] = r.Label
+		return true
+	})
+}
+
+// cascadeItem is one unit of background work: a batch to index, plus an
+// optional channel closed once the batch (and everything before it) has
+// been applied.
+type cascadeItem struct {
+	batch []model.Update
+	done  chan struct{}
+}
+
+// cascadeWorker applies queued update batches to the LineageStore in the
+// background (stage 2 of Sec 5.1).
+func (db *DB) cascadeWorker() {
+	defer db.wg.Done()
+	for item := range db.queue {
+		if len(item.batch) > 0 {
+			if err := db.ls.ApplyBatch(item.batch); err != nil {
+				db.bgErr.Store(err)
+			}
+		}
+		if item.done != nil {
+			close(item.done)
+		}
+	}
+}
+
+// Err returns any asynchronous cascade error observed so far.
+func (db *DB) Err() error {
+	if v := db.bgErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Apply ingests one committed graph update.
+func (db *DB) Apply(u model.Update) error { return db.ApplyBatch([]model.Update{u}) }
+
+// ApplyBatch ingests a batch of committed updates (one transaction or an
+// ingestion batch). Per Sec 5.1 only the TimeStore is written on the
+// caller's path in hybrid mode.
+func (db *DB) ApplyBatch(us []model.Update) error {
+	if db.closed.Load() {
+		return errors.New("aion: store closed")
+	}
+	if err := db.Err(); err != nil {
+		return fmt.Errorf("aion: background cascade failed: %w", err)
+	}
+	db.updateStats(us)
+	switch db.opts.Mode {
+	case SyncHybrid:
+		if err := db.ts.AppendBatch(us); err != nil {
+			return err
+		}
+		db.queue <- cascadeItem{batch: append([]model.Update(nil), us...)}
+	case SyncBoth:
+		if err := db.ts.AppendBatch(us); err != nil {
+			return err
+		}
+		return db.ls.ApplyBatch(us)
+	case SyncTimeStoreOnly:
+		return db.ts.AppendBatch(us)
+	case SyncLineageOnly:
+		return db.ls.ApplyBatch(us)
+	}
+	return nil
+}
+
+// entityCatalog remembers each live entity's labels/type so that deletions
+// and pattern histograms can be maintained in update order without
+// consulting the (possibly not-yet-updated) latest graph.
+type entityCatalog struct {
+	mu         sync.Mutex
+	nodeLabels map[model.NodeID][]string
+	relTypes   map[model.RelID]string
+}
+
+func newEntityCatalog() *entityCatalog {
+	return &entityCatalog{
+		nodeLabels: make(map[model.NodeID][]string),
+		relTypes:   make(map[model.RelID]string),
+	}
+}
+
+// updateStats maintains the planner histograms (Sec 5.1 cardinality
+// estimation) as updates stream in.
+func (db *DB) updateStats(us []model.Update) {
+	c := db.catalog
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range us {
+		switch u.Kind {
+		case model.OpAddNode:
+			db.stats.OnAddNode(u.AddLabels)
+			c.nodeLabels[u.NodeID] = append([]string(nil), u.AddLabels...)
+		case model.OpDeleteNode:
+			db.stats.OnDeleteNode(c.nodeLabels[u.NodeID])
+			delete(c.nodeLabels, u.NodeID)
+		case model.OpUpdateNode:
+			db.stats.OnNodeLabels(u.AddLabels, u.DelLabels)
+			labels := c.nodeLabels[u.NodeID]
+			for _, l := range u.DelLabels {
+				for i, x := range labels {
+					if x == l {
+						labels = append(labels[:i], labels[i+1:]...)
+						break
+					}
+				}
+			}
+			labels = append(labels, u.AddLabels...)
+			c.nodeLabels[u.NodeID] = labels
+		case model.OpAddRel:
+			db.stats.OnAddRel(u.RelLabel, c.nodeLabels[u.Src], c.nodeLabels[u.Tgt])
+			c.relTypes[u.RelID] = u.RelLabel
+		case model.OpDeleteRel:
+			db.stats.OnDeleteRel(c.relTypes[u.RelID], c.nodeLabels[u.Src], c.nodeLabels[u.Tgt])
+			delete(c.relTypes, u.RelID)
+		}
+	}
+}
+
+// WaitSync blocks until the LineageStore has absorbed every update queued
+// so far (used by tests and benchmarks; production queries fall back to the
+// TimeStore instead of waiting).
+func (db *DB) WaitSync() error {
+	if db.opts.Mode != SyncHybrid {
+		return db.Err()
+	}
+	done := make(chan struct{})
+	db.queue <- cascadeItem{done: done} // FIFO: fires after all prior batches
+	<-done
+	return db.Err()
+}
+
+// Stats returns the planner's graph statistics.
+func (db *DB) Stats() *GraphStats { return db.stats }
+
+// TimeStore exposes the underlying TimeStore (nil in lineage-only mode).
+func (db *DB) TimeStore() *timestore.Store { return db.ts }
+
+// LineageStore exposes the underlying LineageStore (nil in timestore-only
+// mode).
+func (db *DB) LineageStore() *lineagestore.Store { return db.ls }
+
+// PlannerDecisions reports how many queries each store served.
+func (db *DB) PlannerDecisions() (lineage, timeStore int64) {
+	return db.decided.lineage.Load(), db.decided.time.Load()
+}
+
+// LatestTimestamp returns the newest committed timestamp.
+func (db *DB) LatestTimestamp() model.Timestamp {
+	if db.ts != nil {
+		return db.ts.LatestTimestamp()
+	}
+	return db.ls.AppliedThrough()
+}
+
+// DiskBytes reports the store's total on-disk footprint (Fig 10).
+func (db *DB) DiskBytes() (timeStore, lineage int64) {
+	if db.ts != nil {
+		timeStore = db.ts.DiskBytes()
+	}
+	if db.ls != nil {
+		lineage = db.ls.DiskBytes()
+	}
+	return
+}
+
+// Close drains the background queue, flushes, and closes all stores.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if db.opts.Mode == SyncHybrid {
+		close(db.queue)
+		db.wg.Wait()
+	}
+	var firstErr error
+	if db.ts != nil {
+		if err := db.ts.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db.ls != nil {
+		if err := db.ls.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.strings.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := db.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,127 @@
+package algo
+
+import (
+	"sort"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// Temporal path algorithms (Fig 2; Wu et al., "Path problems in temporal
+// graphs"). A relationship version's validity interval [τs, τe) is read as
+// a departure at τs from Src and an arrival at τe at Tgt (e.g. a flight).
+// Both problems are solved as topological-optimum problems with a single
+// scan over relationships ordered by time, instead of expensive joins
+// across snapshots (TeGraph's one-pass model).
+
+// temporalEdge is a flattened relationship version.
+type temporalEdge struct {
+	src, tgt model.NodeID
+	dep, arr model.Timestamp
+	rel      model.RelID
+}
+
+func collectEdges(tg *memgraph.TGraph) []temporalEdge {
+	var edges []temporalEdge
+	tg.ForEachRelVersion(func(r *model.Rel) bool {
+		if r.Valid.End == model.TSInfinity {
+			return true // still open: no arrival time, unusable as a hop
+		}
+		edges = append(edges, temporalEdge{
+			src: r.Src, tgt: r.Tgt, dep: r.Valid.Start, arr: r.Valid.End, rel: r.ID,
+		})
+		return true
+	})
+	return edges
+}
+
+// PathHop is one relationship on a temporal path.
+type PathHop struct {
+	Rel       model.RelID
+	From, To  model.NodeID
+	Departure model.Timestamp
+	Arrival   model.Timestamp
+}
+
+// EarliestArrival computes, for every node, the earliest time one can
+// arrive there when starting from src no earlier than startTime. The scan
+// processes relationships in departure order; an edge is usable when its
+// departure is no earlier than the current earliest arrival at its source.
+// The returned map contains only reachable nodes; paths maps each reached
+// node to its incoming hop, from which a full path can be reconstructed.
+func EarliestArrival(tg *memgraph.TGraph, src model.NodeID, startTime model.Timestamp) (map[model.NodeID]model.Timestamp, map[model.NodeID]PathHop) {
+	edges := collectEdges(tg)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].dep < edges[j].dep })
+	arr := map[model.NodeID]model.Timestamp{src: startTime}
+	prev := map[model.NodeID]PathHop{}
+	for _, e := range edges {
+		at, ok := arr[e.src]
+		if !ok || e.dep < at {
+			continue
+		}
+		if cur, ok := arr[e.tgt]; !ok || e.arr < cur {
+			arr[e.tgt] = e.arr
+			prev[e.tgt] = PathHop{Rel: e.rel, From: e.src, To: e.tgt, Departure: e.dep, Arrival: e.arr}
+		}
+	}
+	return arr, prev
+}
+
+// LatestDeparture computes, for every node, the latest time one can leave
+// it and still reach tgt no later than deadline. The scan processes
+// relationships in decreasing arrival order; an edge is usable when its
+// arrival is no later than the latest departure already known at its
+// target.
+func LatestDeparture(tg *memgraph.TGraph, tgt model.NodeID, deadline model.Timestamp) (map[model.NodeID]model.Timestamp, map[model.NodeID]PathHop) {
+	edges := collectEdges(tg)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].arr > edges[j].arr })
+	dep := map[model.NodeID]model.Timestamp{tgt: deadline}
+	next := map[model.NodeID]PathHop{}
+	for _, e := range edges {
+		at, ok := dep[e.tgt]
+		if !ok || e.arr > at {
+			continue
+		}
+		if cur, ok := dep[e.src]; !ok || e.dep > cur {
+			dep[e.src] = e.dep
+			next[e.src] = PathHop{Rel: e.rel, From: e.src, To: e.tgt, Departure: e.dep, Arrival: e.arr}
+		}
+	}
+	return dep, next
+}
+
+// ReconstructForward rebuilds the earliest-arrival path src -> dst from the
+// prev map returned by EarliestArrival.
+func ReconstructForward(prev map[model.NodeID]PathHop, src, dst model.NodeID) []PathHop {
+	var rev []PathHop
+	cur := dst
+	for cur != src {
+		hop, ok := prev[cur]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, hop)
+		cur = hop.From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ReconstructBackward rebuilds the latest-departure path src -> dst from
+// the next map returned by LatestDeparture.
+func ReconstructBackward(next map[model.NodeID]PathHop, src, dst model.NodeID) []PathHop {
+	var hops []PathHop
+	cur := src
+	for cur != dst {
+		hop, ok := next[cur]
+		if !ok {
+			return nil
+		}
+		hops = append(hops, hop)
+		cur = hop.To
+	}
+	return hops
+}

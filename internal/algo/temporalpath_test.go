@@ -1,0 +1,124 @@
+package algo
+
+import (
+	"testing"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// aviationGraph builds a Fig 2-style aviation network: five airports and
+// flights whose validity intervals [departure, arrival) carry the times.
+func aviationGraph(t *testing.T) *memgraph.TGraph {
+	t.Helper()
+	tg := memgraph.NewTGraph(model.Interval{Start: 0, End: model.TSInfinity})
+	for i := 0; i < 5; i++ {
+		if err := tg.Apply(model.AddNode(0, model.NodeID(i), []string{"Airport"}, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flights must be added in timestamp order across the whole stream, so
+	// interleave by departure time: use one shared builder.
+	type flight struct {
+		id       model.RelID
+		src, tgt model.NodeID
+		dep, arr model.Timestamp
+	}
+	flights := []flight{
+		{0, 0, 4, 0, 2},
+		{1, 0, 2, 0, 4},
+		{2, 4, 3, 2, 3},
+		{3, 2, 3, 4, 8},
+		{4, 3, 1, 5, 7},
+		{5, 3, 1, 10, 13},
+	}
+	type event struct {
+		ts  model.Timestamp
+		add bool
+		f   flight
+	}
+	var events []event
+	for _, f := range flights {
+		events = append(events, event{f.dep, true, f}, event{f.arr, false, f})
+	}
+	// Sort events by time (stable enough with simple insertion).
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].ts < events[j-1].ts; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	for _, e := range events {
+		var err error
+		if e.add {
+			err = tg.Apply(model.AddRel(e.ts, e.f.id, e.f.src, e.f.tgt, "FLIGHT", nil))
+		} else {
+			err = tg.Apply(model.DeleteRel(e.ts, e.f.id, e.f.src, e.f.tgt))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tg
+}
+
+func TestEarliestArrival(t *testing.T) {
+	tg := aviationGraph(t)
+	arr, prev := EarliestArrival(tg, 0, 0)
+	// 0 -(dep 0, arr 2)-> 4 -(dep 2, arr 3)-> 3 -(dep 5, arr 7)-> 1.
+	if arr[1] != 7 {
+		t.Errorf("earliest arrival at 1 = %d, want 7", arr[1])
+	}
+	if arr[3] != 3 {
+		t.Errorf("earliest arrival at 3 = %d, want 3", arr[3])
+	}
+	path := ReconstructForward(prev, 0, 1)
+	if len(path) != 3 {
+		t.Fatalf("path has %d hops, want 3", len(path))
+	}
+	if path[0].Rel != 0 || path[1].Rel != 2 || path[2].Rel != 4 {
+		t.Errorf("path = %+v", path)
+	}
+	// Starting late misses every flight out of 0 (both depart at 0), so
+	// node 1 becomes unreachable.
+	arr2, _ := EarliestArrival(tg, 0, 1)
+	if v, ok := arr2[1]; ok {
+		t.Errorf("late start must make 1 unreachable, got arrival %d", v)
+	}
+}
+
+func TestLatestDeparture(t *testing.T) {
+	tg := aviationGraph(t)
+	dep, next := LatestDeparture(tg, 1, 13)
+	// Latest chain into 1 by 13: 3 -(dep 10)-> 1; into 3: 2 -(dep 4, arr
+	// 8)-> 3; into 2: 0 -(dep 0)-> 2. So from 0 the latest departure is 0
+	// via node 2.
+	if dep[3] != 10 {
+		t.Errorf("latest departure from 3 = %d, want 10", dep[3])
+	}
+	if dep[0] != 0 {
+		t.Errorf("latest departure from 0 = %d, want 0", dep[0])
+	}
+	path := ReconstructBackward(next, 0, 1)
+	if len(path) == 0 {
+		t.Fatal("no backward path")
+	}
+	if path[0].To != 2 && path[0].To != 4 {
+		t.Errorf("first hop to %d", path[0].To)
+	}
+	// Tight deadline cuts everything off.
+	dep2, _ := LatestDeparture(tg, 1, 5)
+	if _, ok := dep2[0]; ok {
+		t.Error("no path can arrive at 1 by 5")
+	}
+}
+
+func TestTemporalPathOpenEdgesIgnored(t *testing.T) {
+	tg := memgraph.NewTGraph(model.Interval{Start: 0, End: model.TSInfinity})
+	tg.Apply(model.AddNode(0, 0, nil, nil))
+	tg.Apply(model.AddNode(0, 1, nil, nil))
+	tg.Apply(model.AddRel(1, 0, 0, 1, "F", nil)) // never closed: no arrival
+	arr, _ := EarliestArrival(tg, 0, 0)
+	if _, ok := arr[1]; ok {
+		t.Error("open-ended relationship must not be traversable")
+	}
+}

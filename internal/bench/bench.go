@@ -1,0 +1,156 @@
+// Package bench implements the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Sec 6). Each experiment
+// builds its workload with internal/datagen (scaled-down synthetic stand-ins
+// for the Table 3 datasets), runs the same measurement protocol the paper
+// describes, and prints rows/series in the paper's shape. Absolute numbers
+// differ from the paper's AWS testbed; the comparisons (who wins, by what
+// factor, where the crossovers fall) are the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"aion/internal/aion"
+	"aion/internal/datagen"
+	"aion/internal/model"
+)
+
+// Config tunes the harness globally.
+type Config struct {
+	// Scale divides the Table 3 dataset sizes (default 1000: DBLP becomes
+	// 300 nodes / 2100 rels; 100 gives 3k/21k).
+	Scale int
+	// Datasets restricts which Table 3 graphs run (default: first four,
+	// matching the subsets most figures use).
+	Datasets []string
+	// Seed for dataset generation.
+	Seed int64
+	// PointOps is the number of point queries per system (paper: 1 M).
+	PointOps int
+	// GlobalOps is the number of snapshot retrievals (paper: 100).
+	GlobalOps int
+	// Out receives the printed tables.
+	Out io.Writer
+}
+
+// Defaults fills unset fields.
+func (c *Config) Defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"DBLP", "WikiTalk", "Pokec", "LiveJournal"}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.PointOps <= 0 {
+		c.PointOps = 20000
+	}
+	if c.GlobalOps <= 0 {
+		c.GlobalOps = 20
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+}
+
+// genDataset builds one dataset with the harness seed.
+func (c *Config) genDataset(name string, opts datagen.Options) *datagen.Dataset {
+	spec := datagen.MustPreset(name, c.Scale)
+	if opts.Seed == 0 {
+		opts.Seed = c.Seed
+	}
+	return datagen.Generate(spec, opts)
+}
+
+// aionOptsForServing configures Aion for a serving system sized to the
+// workload (hybrid mode, snapshots every eighth of the load).
+func aionOptsForServing(nUpdates int) aion.Options {
+	return aion.Options{SnapshotEveryOps: nUpdates/8 + 1}
+}
+
+// openAionTemp opens an Aion store (synchronous both-store mode, suited to
+// measurement determinism) in a fresh temp dir and loads the dataset.
+func openAionTemp(c Config, ds *datagen.Dataset) (*aion.DB, error) {
+	db, err := aion.Open(aion.Options{Mode: aion.SyncBoth,
+		SnapshotEveryOps: len(ds.Updates)/8 + 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.ApplyBatch(ds.Updates); err != nil {
+		db.Close()
+		return nil, err
+	}
+	db.TimeStore().WaitSnapshots()
+	return db, nil
+}
+
+// timeIt measures fn.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// opsPerSec converts a run into a throughput figure.
+func opsPerSec(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+// randTimestamps draws n random query timestamps in [1, maxTS].
+func randTimestamps(rng *rand.Rand, n int, maxTS model.Timestamp) []model.Timestamp {
+	out := make([]model.Timestamp, n)
+	for i := range out {
+		out[i] = model.Timestamp(rng.Int63n(int64(maxTS)) + 1)
+	}
+	return out
+}
+
+// table is a simple column-aligned printer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) print(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func fi(v int64) string   { return fmt.Sprintf("%d", v) }
+func mb(bytes int64) string {
+	return fmt.Sprintf("%.1f MB", float64(bytes)/(1<<20))
+}

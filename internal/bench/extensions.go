@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"aion/internal/incremental"
+	"aion/internal/model"
+)
+
+// ExtensionRow is one point of the extension experiment: incremental
+// speedups for the algorithm classes the paper claims support for but does
+// not evaluate (SSSP among the monotonic path-based class; greedy graph
+// colouring among the non-monotonic class, Sec 5.2).
+type ExtensionRow struct {
+	Dataset   string
+	Algorithm string
+	Snapshots int
+	Speedup   float64
+}
+
+// RunExtensionIncremental measures incremental SSSP and colouring against
+// per-snapshot recomputation, with the Fig 12 workload protocol.
+func RunExtensionIncremental(c Config, snapshotCounts []int) ([]ExtensionRow, error) {
+	c.Defaults()
+	if len(snapshotCounts) == 0 {
+		snapshotCounts = []int{10, 100}
+	}
+	var rows []ExtensionRow
+	t := &table{header: []string{"Algorithm(#snapshots)", "Dataset", "incremental (s)", "recompute (s)", "speedup"}}
+	for _, name := range c.Datasets {
+		for _, snaps := range snapshotCounts {
+			base, diffs, err := fig12Workload(c, name, snaps)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"SSSP", "COLOR"} {
+				gInc := base.Clone()
+				gFull := base.Clone()
+				var incSec, fullSec float64
+				switch alg {
+				case "SSSP":
+					src := firstNode(base)
+					s := incremental.NewSSSP(gInc, src, "w")
+					incSec = timeIt(func() {
+						for _, diff := range diffs {
+							applyDiff(gInc, diff)
+							s.ApplyDiff(gInc, diff)
+						}
+					}).Seconds()
+					fullSec = timeIt(func() {
+						for _, diff := range diffs {
+							applyDiff(gFull, diff)
+							incremental.NewSSSP(gFull, src, "w")
+						}
+					}).Seconds()
+				case "COLOR":
+					col := incremental.NewColoring(gInc)
+					incSec = timeIt(func() {
+						for _, diff := range diffs {
+							applyDiff(gInc, diff)
+							col.ApplyDiff(gInc, diff)
+						}
+					}).Seconds()
+					fullSec = timeIt(func() {
+						for _, diff := range diffs {
+							applyDiff(gFull, diff)
+							incremental.NewColoring(gFull)
+						}
+					}).Seconds()
+				}
+				row := ExtensionRow{Dataset: name, Algorithm: alg, Snapshots: snaps,
+					Speedup: fullSec / incSec}
+				rows = append(rows, row)
+				t.add(fmt.Sprintf("%s(%d)", alg, snaps), name, f2(incSec), f2(fullSec), f1(row.Speedup)+"x")
+			}
+		}
+	}
+	t.print(c.Out, "Extension: incremental SSSP and graph colouring (Sec 5.2 classes)")
+	return rows, nil
+}
+
+func applyDiff(g interface{ Apply(model.Update) error }, diff []model.Update) {
+	for _, u := range diff {
+		_ = g.Apply(u)
+	}
+}

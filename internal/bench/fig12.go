@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"aion/internal/algo"
+	"aion/internal/datagen"
+	"aion/internal/incremental"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// Fig12Row is one Algorithm(#snapshots) × dataset point of Fig 12: the
+// speedup of incremental execution over recomputation across consecutive
+// snapshots.
+type Fig12Row struct {
+	Dataset   string
+	Algorithm string // AVG, BFS, PR
+	Snapshots int
+	Speedup   float64
+}
+
+// fig12Workload builds the paper's Sec 6.6 protocol: load half of the
+// relationships into the first snapshot and divide the remaining ones into
+// `snapshots` increments.
+func fig12Workload(c Config, name string, snapshots int) (base *memgraph.Graph, diffs [][]model.Update, err error) {
+	ds := c.genDataset(name, datagen.Options{RelWeightProp: "w"})
+	// Split the update stream at the point where half the relationships
+	// are loaded.
+	relSeen, splitAt := 0, len(ds.Updates)
+	for i, u := range ds.Updates {
+		if u.Kind == model.OpAddRel {
+			relSeen++
+			if relSeen >= ds.Spec.Rels/2 {
+				splitAt = i + 1
+				break
+			}
+		}
+	}
+	base = memgraph.New()
+	if err := base.ApplyAll(ds.Updates[:splitAt]); err != nil {
+		return nil, nil, err
+	}
+	rest := ds.Updates[splitAt:]
+	per := (len(rest) + snapshots - 1) / snapshots
+	for lo := 0; lo < len(rest); lo += per {
+		hi := lo + per
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		diffs = append(diffs, rest[lo:hi])
+	}
+	return base, diffs, nil
+}
+
+// RunFig12 regenerates Fig 12 for AVG, BFS, and PageRank with 10 and 100
+// snapshots.
+func RunFig12(c Config, snapshotCounts []int) ([]Fig12Row, error) {
+	c.Defaults()
+	if len(snapshotCounts) == 0 {
+		snapshotCounts = []int{10, 100}
+	}
+	var rows []Fig12Row
+	t := &table{header: []string{"Algorithm(#snapshots)", "Dataset", "incremental (s)", "recompute (s)", "speedup"}}
+	for _, name := range c.Datasets {
+		for _, snaps := range snapshotCounts {
+			base, diffs, err := fig12Workload(c, name, snaps)
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range []string{"AVG", "BFS", "PR"} {
+				inc, full, err := runFig12Algorithm(alg, base, diffs)
+				if err != nil {
+					return nil, err
+				}
+				row := Fig12Row{Dataset: name, Algorithm: alg, Snapshots: snaps,
+					Speedup: full / inc}
+				rows = append(rows, row)
+				t.add(fmt.Sprintf("%s(%d)", alg, snaps), name, f2(inc), f2(full), f1(row.Speedup)+"x")
+			}
+		}
+	}
+	t.print(c.Out, "Fig 12: incremental execution speedup over recomputation")
+	return rows, nil
+}
+
+// runFig12Algorithm measures incremental vs recompute seconds for one
+// algorithm over the snapshot series.
+func runFig12Algorithm(alg string, base *memgraph.Graph, diffs [][]model.Update) (incSec, fullSec float64, err error) {
+	// Two independent evolving graphs so the two runs don't share state.
+	gInc := base.Clone()
+	gFull := base.Clone()
+
+	switch alg {
+	case "AVG":
+		a := incremental.NewAvg("w")
+		incSec = timeIt(func() {
+			a.InitFrom(gInc)
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gInc.Apply(u)
+				}
+				a.ApplyDiff(diff)
+				_ = a.Value()
+			}
+		}).Seconds()
+		fullSec = timeIt(func() {
+			ref := incremental.NewAvg("w")
+			ref.InitFrom(gFull)
+			_ = ref.Value()
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gFull.Apply(u)
+				}
+				ref = incremental.NewAvg("w")
+				ref.InitFrom(gFull) // recompute: full scan per snapshot
+				_ = ref.Value()
+			}
+		}).Seconds()
+	case "BFS":
+		src := firstNode(base)
+		var b *incremental.BFS
+		incSec = timeIt(func() {
+			b = incremental.NewBFS(gInc, src)
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gInc.Apply(u)
+				}
+				b.ApplyDiff(gInc, diff)
+			}
+		}).Seconds()
+		fullSec = timeIt(func() {
+			algo.BFS(gFull, src)
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gFull.Apply(u)
+				}
+				algo.BFS(gFull, src)
+			}
+		}).Seconds()
+	case "PR":
+		// Both runs execute on the dynamic representation (Sec 6.6/6.7:
+		// analytics run on top of the dynamic graph, not a fresh CSR);
+		// the recompute baseline restarts from the uniform vector each
+		// snapshot while the incremental run warm-starts.
+		opts := algo.PageRankOptions{Epsilon: 0.01, MaxIter: 100}
+		pr := incremental.NewPageRank(opts)
+		incSec = timeIt(func() {
+			pr.Run(gInc)
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gInc.Apply(u)
+				}
+				pr.Run(gInc)
+			}
+		}).Seconds()
+		fullSec = timeIt(func() {
+			algo.PageRankDynamic(gFull, nil, opts)
+			for _, diff := range diffs {
+				for _, u := range diff {
+					gFull.Apply(u)
+				}
+				algo.PageRankDynamic(gFull, nil, opts)
+			}
+		}).Seconds()
+	default:
+		return 0, 0, fmt.Errorf("bench: unknown algorithm %q", alg)
+	}
+	return incSec, fullSec, nil
+}
+
+func firstNode(g *memgraph.Graph) model.NodeID {
+	var id model.NodeID
+	g.ForEachNode(func(n *model.Node) bool {
+		id = n.ID
+		return false
+	})
+	return id
+}

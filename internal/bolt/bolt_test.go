@@ -1,0 +1,164 @@
+package bolt
+
+import (
+	"sync"
+	"testing"
+
+	"aion/internal/cypher"
+	"aion/internal/model"
+	"aion/internal/system"
+)
+
+func startServer(t *testing.T) (*Server, string, *cypher.Engine) {
+	t.Helper()
+	sys, err := system.Open(system.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	engine := cypher.NewEngine(sys)
+	srv := NewServer(engine)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, engine
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, sum, err := c.Run(`CREATE (a:Person {name: 'ada', age: 36})-[:KNOWS {since: 1843}]->(b:Person {name: 'charles'})`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NodesCreated != 2 || sum.RelsCreated != 1 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if sum.CommitTS == 0 {
+		t.Error("commit ts missing")
+	}
+
+	cols, rows, _, err := c.Run(`MATCH (n:Person) RETURN n.name, n ORDER BY n.name`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "n.name" {
+		t.Errorf("columns: %v", cols)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0][0].S.Str() != "ada" {
+		t.Errorf("row value: %v", rows[0][0])
+	}
+	// Node entity round-trips with labels and props.
+	n := rows[0][1].Node
+	if n == nil || !n.HasLabel("Person") || n.Props["age"].Int() != 36 {
+		t.Errorf("node cell: %+v", n)
+	}
+}
+
+func TestParamsAndRelRoundTrip(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Run(`CREATE (a:X)-[:R {w: 1.5}]->(b:X)`, nil)
+	_, rows, _, err := c.Run(`MATCH (a)-[r:R]->(b) WHERE r.w >= $min RETURN r`,
+		map[string]model.Value{"min": model.FloatValue(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Rel == nil {
+		t.Fatalf("rel rows: %v", rows)
+	}
+	if rows[0][0].Rel.Props["w"].Float() != 1.5 {
+		t.Error("rel props round trip")
+	}
+}
+
+func TestTemporalQueryOverBolt(t *testing.T) {
+	_, addr, engine := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Run(`CREATE (n:T {v: 1})`, nil)
+	c.Run(`MATCH (n:T) SET n.v = 2`, nil)
+	engine.Sys.Aion.WaitSync()
+	_, rows, _, err := c.Run(`USE GDB FOR SYSTEM_TIME AS OF 1 MATCH (n:T) WHERE id(n) = 0 RETURN n.v`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S.Int() != 1 {
+		t.Errorf("temporal over bolt: %v", rows)
+	}
+}
+
+func TestFailureKeepsConnectionUsable(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, _, _, err := c.Run(`THIS IS NOT CYPHER`, nil); err == nil {
+		t.Fatal("bad query must fail")
+	}
+	// The session survives the failure.
+	_, _, sum, err := c.Run(`CREATE (n:Ok)`, nil)
+	if err != nil || sum.NodesCreated != 1 {
+		t.Errorf("session unusable after failure: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, _ := startServer(t)
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				if _, _, _, err := c.Run(`CREATE (n:W)`, nil); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, rows, _, err := c.Run(`MATCH (n:W) RETURN count(*)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].S.Int() != clients*perClient {
+		t.Errorf("count = %v, want %d", rows[0][0], clients*perClient)
+	}
+}
+
+func TestProcedureOverBolt(t *testing.T) {
+	_, addr, engine := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Run(`CREATE (a:P)-[:R {w: 4}]->(b:P)`, nil)
+	engine.Sys.Aion.WaitSync()
+	cols, rows, _, err := c.Run(`CALL aion.diff(0, 100)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 4 || len(rows) != 3 {
+		t.Errorf("diff over bolt: %v rows %d", cols, len(rows))
+	}
+}

@@ -1,0 +1,173 @@
+package bolt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"aion/internal/cypher"
+	"aion/internal/model"
+)
+
+// Client is a Bolt session. It is not safe for concurrent use; open one
+// client per worker (as the paper pins one client thread per core).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Summary carries the write counters of a completed query.
+type Summary struct {
+	NodesCreated, RelsCreated, PropsSet, NodesDeleted, RelsDeleted int
+	CommitTS                                                       model.Timestamp
+}
+
+// Dial connects and performs the HELLO handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+	hello := []byte{MsgHello}
+	hello = appendString(hello, "aion-go/1.0")
+	if err := c.send(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := c.recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if len(frame) == 0 || frame[0] != MsgSuccess {
+		conn.Close()
+		return nil, fmt.Errorf("bolt: handshake rejected")
+	}
+	return c, nil
+}
+
+func (c *Client) send(payload []byte) error {
+	if err := writeFrame(c.w, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) recv() ([]byte, error) { return readFrame(c.r) }
+
+// Run executes a query and pulls all records.
+func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][]cypher.Val, *Summary, error) {
+	msg := []byte{MsgRun}
+	msg = appendString(msg, query)
+	msg = binary.AppendUvarint(msg, uint64(len(params)))
+	for k, v := range params {
+		msg = appendString(msg, k)
+		msg = appendScalar(msg, v)
+	}
+	if err := c.send(msg); err != nil {
+		return nil, nil, nil, err
+	}
+	frame, err := c.recv()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(frame) == 0 {
+		return nil, nil, nil, fmt.Errorf("bolt: empty reply")
+	}
+	if frame[0] == MsgFailure {
+		msg, _, _ := readString(frame[1:])
+		return nil, nil, nil, fmt.Errorf("bolt: server failure: %s", msg)
+	}
+	if frame[0] != MsgSuccess {
+		return nil, nil, nil, fmt.Errorf("bolt: unexpected reply 0x%x", frame[0])
+	}
+	// Columns.
+	b := frame[1:]
+	nc, w := binary.Uvarint(b)
+	if w <= 0 || nc > uint64(len(b)) {
+		return nil, nil, nil, fmt.Errorf("bolt: bad column count")
+	}
+	b = b[w:]
+	columns := make([]string, nc)
+	for i := range columns {
+		columns[i], b, err = readString(b)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// PULL and stream records.
+	if err := c.send([]byte{MsgPull}); err != nil {
+		return nil, nil, nil, err
+	}
+	var rows [][]cypher.Val
+	for {
+		frame, err := c.recv()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(frame) == 0 {
+			return nil, nil, nil, fmt.Errorf("bolt: empty frame")
+		}
+		switch frame[0] {
+		case MsgRecord:
+			b := frame[1:]
+			n, w := binary.Uvarint(b)
+			if w <= 0 || n > uint64(len(b)) {
+				return nil, nil, nil, fmt.Errorf("bolt: bad record arity")
+			}
+			b = b[w:]
+			row := make([]cypher.Val, n)
+			for i := range row {
+				row[i], b, err = readVal(b)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+			}
+			rows = append(rows, row)
+		case MsgSuccess:
+			sum, err := decodeSummary(frame[1:])
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return columns, rows, sum, nil
+		case MsgFailure:
+			msg, _, _ := readString(frame[1:])
+			return nil, nil, nil, fmt.Errorf("bolt: server failure: %s", msg)
+		default:
+			return nil, nil, nil, fmt.Errorf("bolt: unexpected frame 0x%x", frame[0])
+		}
+	}
+}
+
+func decodeSummary(b []byte) (*Summary, error) {
+	// Skip the (empty) column list.
+	_, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, fmt.Errorf("bolt: bad summary")
+	}
+	b = b[w:]
+	var vals [6]int64
+	for i := range vals {
+		x, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, fmt.Errorf("bolt: short summary")
+		}
+		vals[i] = x
+		b = b[w:]
+	}
+	return &Summary{
+		NodesCreated: int(vals[0]), RelsCreated: int(vals[1]), PropsSet: int(vals[2]),
+		NodesDeleted: int(vals[3]), RelsDeleted: int(vals[4]),
+		CommitTS: model.Timestamp(vals[5]),
+	}, nil
+}
+
+// Close sends GOODBYE and closes the connection.
+func (c *Client) Close() error {
+	c.send([]byte{MsgGoodbye})
+	return c.conn.Close()
+}

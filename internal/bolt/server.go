@@ -1,0 +1,213 @@
+package bolt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"aion/internal/cypher"
+	"aion/internal/model"
+)
+
+// Server serves temporal Cypher over the Bolt-like protocol. Each
+// connection gets its own goroutine (the worker threads dedicated to query
+// compilation, transaction management, and networking of Sec 6.7).
+type Server struct {
+	engine   *cypher.Engine
+	listener net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server over a Cypher engine.
+func NewServer(engine *cypher.Engine) *Server {
+	return &Server{engine: engine, conns: map[net.Conn]bool{}}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// Close stops the server and terminates open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	send := func(payload []byte) error {
+		if err := writeFrame(w, payload); err != nil {
+			return err
+		}
+		return nil
+	}
+	flush := func() error { return w.Flush() }
+
+	// Handshake: expect HELLO, reply SUCCESS.
+	frame, err := readFrame(r)
+	if err != nil || len(frame) == 0 || frame[0] != MsgHello {
+		return
+	}
+	if err := send([]byte{MsgSuccess}); err != nil {
+		return
+	}
+	if err := flush(); err != nil {
+		return
+	}
+
+	var pending *cypher.Result
+	for {
+		frame, err := readFrame(r)
+		if err != nil || len(frame) == 0 {
+			return
+		}
+		switch frame[0] {
+		case MsgGoodbye:
+			return
+		case MsgRun:
+			query, params, derr := decodeRun(frame[1:])
+			if derr != nil {
+				sendFailure(send, derr)
+				flush()
+				continue
+			}
+			res, qerr := s.engine.Query(query, params)
+			if qerr != nil {
+				pending = nil
+				sendFailure(send, qerr)
+				flush()
+				continue
+			}
+			pending = res
+			// SUCCESS carries the column names.
+			payload := []byte{MsgSuccess}
+			payload = binary.AppendUvarint(payload, uint64(len(res.Columns)))
+			for _, c := range res.Columns {
+				payload = appendString(payload, c)
+			}
+			send(payload)
+			flush()
+		case MsgPull:
+			if pending == nil {
+				sendFailure(send, fmt.Errorf("bolt: PULL with no pending result"))
+				flush()
+				continue
+			}
+			for _, row := range pending.Rows {
+				payload := []byte{MsgRecord}
+				payload = binary.AppendUvarint(payload, uint64(len(row)))
+				for _, v := range row {
+					payload = appendVal(payload, v)
+				}
+				if err := send(payload); err != nil {
+					return
+				}
+			}
+			// Summary SUCCESS with write counters.
+			payload := []byte{MsgSuccess}
+			payload = binary.AppendUvarint(payload, 0) // no columns
+			for _, c := range []int{pending.NodesCreated, pending.RelsCreated,
+				pending.PropsSet, pending.NodesDeleted, pending.RelsDeleted} {
+				payload = binary.AppendVarint(payload, int64(c))
+			}
+			payload = binary.AppendVarint(payload, int64(pending.CommitTS))
+			pending = nil
+			send(payload)
+			flush()
+		default:
+			sendFailure(send, fmt.Errorf("bolt: unexpected message 0x%x", frame[0]))
+			flush()
+		}
+	}
+}
+
+func sendFailure(send func([]byte) error, err error) {
+	payload := []byte{MsgFailure}
+	payload = appendString(payload, err.Error())
+	send(payload)
+}
+
+func decodeRun(b []byte) (string, map[string]model.Value, error) {
+	query, b, err := readString(b)
+	if err != nil {
+		return "", nil, err
+	}
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return "", nil, fmt.Errorf("bolt: bad param count")
+	}
+	b = b[w:]
+	var params map[string]model.Value
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v model.Value
+		k, b, err = readString(b)
+		if err != nil {
+			return "", nil, err
+		}
+		v, b, err = readScalar(b)
+		if err != nil {
+			return "", nil, err
+		}
+		if params == nil {
+			params = map[string]model.Value{}
+		}
+		params[k] = v
+	}
+	return query, params, nil
+}

@@ -1,0 +1,395 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"aion/internal/pagecache"
+)
+
+// Get returns a copy of the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pid := t.root
+	for {
+		p, err := t.pc.Get(pid)
+		if err != nil {
+			return nil, false, err
+		}
+		if isLeaf(p) {
+			i, exact := search(p, key)
+			if !exact {
+				t.pc.Release(pid)
+				return nil, false, nil
+			}
+			v := append([]byte(nil), leafCellVal(p, slotOff(p, i))...)
+			t.pc.Release(pid)
+			return v, true, nil
+		}
+		next := childFor(p, key)
+		t.pc.Release(pid)
+		pid = next
+	}
+}
+
+// childFor picks the child page that covers key in an internal page.
+func childFor(p []byte, key []byte) pagecache.PageID {
+	i, exact := search(p, key)
+	if exact {
+		return pagecache.PageID(intCellChild(p, slotOff(p, i)))
+	}
+	// i is the first cell with key greater than target; the covering child
+	// is the one before it (or the leftmost child).
+	if i == 0 {
+		return pagecache.PageID(extra(p))
+	}
+	return pagecache.PageID(intCellChild(p, slotOff(p, i-1)))
+}
+
+type splitResult struct {
+	sep   []byte
+	right pagecache.PageID
+}
+
+// Put inserts or replaces the value under key.
+func (t *Tree) Put(key, val []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return fmt.Errorf("btree: key length %d out of range [1,%d]", len(key), MaxKeyLen)
+	}
+	if len(val) > MaxValLen {
+		return fmt.Errorf("btree: value length %d exceeds %d", len(val), MaxValLen)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	split, added, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if added {
+		t.count++
+	}
+	if split != nil {
+		// Grow the tree: new root with the old root as leftmost child.
+		newRootID, root, err := t.pc.Allocate()
+		if err != nil {
+			return err
+		}
+		initPage(root, false)
+		setExtra(root, uint64(t.root))
+		off := writeIntCell(root, split.sep, uint64(split.right))
+		insertSlot(root, 0, off)
+		t.pc.MarkDirty(newRootID)
+		t.pc.Release(newRootID)
+		t.root = newRootID
+	}
+	return nil
+}
+
+func (t *Tree) insert(pid pagecache.PageID, key, val []byte) (*splitResult, bool, error) {
+	p, err := t.pc.Get(pid)
+	if err != nil {
+		return nil, false, err
+	}
+	defer t.pc.Release(pid)
+
+	if isLeaf(p) {
+		i, exact := search(p, key)
+		if exact {
+			// Replace: drop the old slot (leaking its cell) and insert.
+			removeSlot(p, i)
+		}
+		need := 4 + len(key) + len(val) + slotSize
+		if freeSpace(p) < need {
+			compact(p)
+		}
+		if freeSpace(p) >= need {
+			off := writeLeafCell(p, key, val)
+			insertSlot(p, i, off)
+			t.pc.MarkDirty(pid)
+			return nil, !exact, nil
+		}
+		split, err := t.splitLeaf(pid, p, i, key, val)
+		return split, !exact, err
+	}
+
+	childIdx, _ := searchChildIdx(p, key)
+	child := childAt(p, childIdx)
+	split, added, err := t.insert(child, key, val)
+	if err != nil || split == nil {
+		return nil, added, err
+	}
+	// Insert the promoted separator into this internal page.
+	i, _ := search(p, split.sep)
+	need := 10 + len(split.sep) + slotSize
+	if freeSpace(p) < need {
+		compact(p)
+	}
+	if freeSpace(p) >= need {
+		off := writeIntCell(p, split.sep, uint64(split.right))
+		insertSlot(p, i, off)
+		t.pc.MarkDirty(pid)
+		return nil, added, nil
+	}
+	up, err := t.splitInternal(pid, p, i, split)
+	return up, added, err
+}
+
+// searchChildIdx returns the child index (0..nkeys) covering key: 0 is the
+// leftmost child, i>0 means the child of cell i-1.
+func searchChildIdx(p []byte, key []byte) (int, bool) {
+	i, exact := search(p, key)
+	if exact {
+		return i + 1, true
+	}
+	return i, false
+}
+
+func childAt(p []byte, idx int) pagecache.PageID {
+	if idx == 0 {
+		return pagecache.PageID(extra(p))
+	}
+	return pagecache.PageID(intCellChild(p, slotOff(p, idx-1)))
+}
+
+// splitLeaf distributes the page's cells plus the pending (key,val) across
+// the old page and a fresh right sibling, returning the separator.
+func (t *Tree) splitLeaf(pid pagecache.PageID, p []byte, insertAt int, key, val []byte) (*splitResult, error) {
+	n := nKeys(p)
+	type kv struct{ k, v []byte }
+	all := make([]kv, 0, n+1)
+	for i := 0; i < n; i++ {
+		off := slotOff(p, i)
+		all = append(all, kv{
+			k: append([]byte(nil), leafCellKey(p, off)...),
+			v: append([]byte(nil), leafCellVal(p, off)...),
+		})
+	}
+	all = append(all, kv{})
+	copy(all[insertAt+1:], all[insertAt:])
+	all[insertAt] = kv{k: append([]byte(nil), key...), v: append([]byte(nil), val...)}
+
+	mid := len(all) / 2
+	if insertAt == n {
+		// Rightmost append (sequential inserts, e.g. time- or id-ordered
+		// keys): leave the left page full and start a fresh right page,
+		// which keeps fill near 100 % instead of 50 %.
+		mid = n
+	}
+	rightID, right, err := t.pc.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	defer t.pc.Release(rightID)
+	initPage(right, true)
+	setExtra(right, extra(p)) // chain: right inherits old next pointer
+	initPage(p, true)
+	setExtra(p, uint64(rightID))
+
+	for i, e := range all[:mid] {
+		insertSlotAtEnd(p, i, writeLeafCell(p, e.k, e.v))
+	}
+	for i, e := range all[mid:] {
+		insertSlotAtEnd(right, i, writeLeafCell(right, e.k, e.v))
+	}
+	t.pc.MarkDirty(pid)
+	t.pc.MarkDirty(rightID)
+	return &splitResult{sep: append([]byte(nil), all[mid].k...), right: rightID}, nil
+}
+
+// insertSlotAtEnd appends slot i (cells are inserted in order during
+// splits, so no shifting is needed).
+func insertSlotAtEnd(p []byte, i, off int) {
+	setSlotOff(p, i, off)
+	setNKeys(p, i+1)
+}
+
+// splitInternal splits an internal page while inserting the pending
+// separator, promoting the middle key.
+func (t *Tree) splitInternal(pid pagecache.PageID, p []byte, insertAt int, pending *splitResult) (*splitResult, error) {
+	n := nKeys(p)
+	type cell struct {
+		k     []byte
+		child uint64
+	}
+	all := make([]cell, 0, n+1)
+	for i := 0; i < n; i++ {
+		off := slotOff(p, i)
+		all = append(all, cell{
+			k:     append([]byte(nil), intCellKey(p, off)...),
+			child: intCellChild(p, off),
+		})
+	}
+	all = append(all, cell{})
+	copy(all[insertAt+1:], all[insertAt:])
+	all[insertAt] = cell{k: pending.sep, child: uint64(pending.right)}
+
+	mid := len(all) / 2
+	promoted := all[mid]
+
+	rightID, right, err := t.pc.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	defer t.pc.Release(rightID)
+	initPage(right, false)
+	setExtra(right, promoted.child) // promoted key's child becomes right's leftmost
+
+	leftmost := extra(p)
+	initPage(p, false)
+	setExtra(p, leftmost)
+
+	for i, c := range all[:mid] {
+		insertSlotAtEnd(p, i, writeIntCell(p, c.k, c.child))
+	}
+	for i, c := range all[mid+1:] {
+		insertSlotAtEnd(right, i, writeIntCell(right, c.k, c.child))
+	}
+	t.pc.MarkDirty(pid)
+	t.pc.MarkDirty(rightID)
+	return &splitResult{sep: promoted.k, right: rightID}, nil
+}
+
+// Delete removes key, reporting whether it was present. Pages are not
+// rebalanced; space is reclaimed lazily by compaction.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := t.root
+	for {
+		p, err := t.pc.Get(pid)
+		if err != nil {
+			return false, err
+		}
+		if isLeaf(p) {
+			i, exact := search(p, key)
+			if exact {
+				removeSlot(p, i)
+				t.pc.MarkDirty(pid)
+				t.count--
+			}
+			t.pc.Release(pid)
+			return exact, nil
+		}
+		next := childFor(p, key)
+		t.pc.Release(pid)
+		pid = next
+	}
+}
+
+// Scan calls fn for each entry with low <= key < high in key order. A nil
+// low starts at the smallest key; a nil high scans to the end. The key and
+// value slices passed to fn alias page memory and are only valid during the
+// callback; fn must copy them to retain. Scanning stops early when fn
+// returns false.
+func (t *Tree) Scan(low, high []byte, fn func(k, v []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.scanLocked(low, high, fn)
+}
+
+func (t *Tree) scanLocked(low, high []byte, fn func(k, v []byte) bool) error {
+	// Descend to the leaf covering low.
+	pid := t.root
+	for {
+		p, err := t.pc.Get(pid)
+		if err != nil {
+			return err
+		}
+		if isLeaf(p) {
+			start := 0
+			if low != nil {
+				start, _ = search(p, low)
+			}
+			// Walk this leaf and then follow next pointers.
+			for {
+				n := nKeys(p)
+				for i := start; i < n; i++ {
+					off := slotOff(p, i)
+					k := leafCellKey(p, off)
+					if high != nil && bytes.Compare(k, high) >= 0 {
+						t.pc.Release(pid)
+						return nil
+					}
+					if !fn(k, leafCellVal(p, off)) {
+						t.pc.Release(pid)
+						return nil
+					}
+				}
+				next := pagecache.PageID(extra(p))
+				t.pc.Release(pid)
+				if next == 0 {
+					return nil
+				}
+				pid = next
+				p, err = t.pc.Get(pid)
+				if err != nil {
+					return err
+				}
+				start = 0
+			}
+		}
+		var next pagecache.PageID
+		if low == nil {
+			next = pagecache.PageID(extra(p))
+		} else {
+			next = childFor(p, low)
+		}
+		t.pc.Release(pid)
+		pid = next
+	}
+}
+
+// SeekFloor returns copies of the largest entry with key <= target, if any.
+func (t *Tree) SeekFloor(target []byte) (k, v []byte, ok bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.floor(t.root, target)
+}
+
+func (t *Tree) floor(pid pagecache.PageID, target []byte) (k, v []byte, ok bool, err error) {
+	p, err := t.pc.Get(pid)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if isLeaf(p) {
+		i, exact := search(p, target)
+		if !exact {
+			i-- // largest key strictly below target
+		}
+		if i < 0 {
+			t.pc.Release(pid)
+			return nil, nil, false, nil
+		}
+		off := slotOff(p, i)
+		k = append([]byte(nil), leafCellKey(p, off)...)
+		v = append([]byte(nil), leafCellVal(p, off)...)
+		t.pc.Release(pid)
+		return k, v, true, nil
+	}
+	idx, _ := searchChildIdx(p, target)
+	for ; idx >= 0; idx-- {
+		child := childAt(p, idx)
+		k, v, ok, err = t.floor(child, target)
+		if err != nil || ok {
+			t.pc.Release(pid)
+			return k, v, ok, err
+		}
+		// The chosen subtree held nothing <= target (possible after
+		// deletions); fall back to the previous subtree, whose keys are
+		// all smaller.
+	}
+	t.pc.Release(pid)
+	return nil, nil, false, nil
+}
+
+// First returns copies of the smallest entry, if any.
+func (t *Tree) First() (k, v []byte, ok bool, err error) {
+	err = t.Scan(nil, nil, func(key, val []byte) bool {
+		k = append([]byte(nil), key...)
+		v = append([]byte(nil), val...)
+		ok = true
+		return false
+	})
+	return k, v, ok, err
+}

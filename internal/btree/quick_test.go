@@ -1,0 +1,98 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aion/internal/pagecache"
+)
+
+// TestSeekFloorMatchesReference cross-checks SeekFloor against a sorted
+// reference slice under random inserts, deletes, and probes.
+func TestSeekFloorMatchesReference(t *testing.T) {
+	tr, err := Open(pagecache.OpenMem(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	present := map[string]string{}
+	randKey := func() []byte {
+		b := make([]byte, 1+rng.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6))
+		}
+		return b
+	}
+	floorRef := func(target []byte) (string, bool) {
+		keys := make([]string, 0, len(present))
+		for k := range present {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := sort.SearchStrings(keys, string(target))
+		if i < len(keys) && keys[i] == string(target) {
+			return keys[i], true
+		}
+		if i == 0 {
+			return "", false
+		}
+		return keys[i-1], true
+	}
+	for step := 0; step < 8000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			k := randKey()
+			v := randKey()
+			if err := tr.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			present[string(k)] = string(v)
+		case 2:
+			k := randKey()
+			tr.Delete(k)
+			delete(present, string(k))
+		case 3:
+			target := randKey()
+			gotK, gotV, ok, err := tr.SeekFloor(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantK, wantOK := floorRef(target)
+			if ok != wantOK {
+				t.Fatalf("step %d: floor(%q) ok=%v want %v", step, target, ok, wantOK)
+			}
+			if ok && (string(gotK) != wantK || string(gotV) != present[wantK]) {
+				t.Fatalf("step %d: floor(%q) = %q/%q, want %q/%q",
+					step, target, gotK, gotV, wantK, present[wantK])
+			}
+		}
+	}
+}
+
+// TestSequentialSplitKeepsPagesFull verifies the rightmost-append split
+// optimization: ascending inserts should fill pages near 100 % rather than
+// the 50 % a half-split would leave.
+func TestSequentialSplitKeepsPagesFull(t *testing.T) {
+	pc := pagecache.OpenMem(1 << 16)
+	tr, _ := Open(pc)
+	payload := 0
+	for i := 0; i < 30000; i++ {
+		k := key(i) // ascending
+		v := val(i)
+		tr.Put(k, v)
+		payload += len(k) + len(v) + 4 + 2
+	}
+	fill := float64(payload) / float64(tr.DiskBytes())
+	if fill < 0.85 {
+		t.Errorf("sequential fill factor = %.2f, want >= 0.85", fill)
+	}
+	// And the data is still correct.
+	for i := 0; i < 30000; i += 997 {
+		v, ok, _ := tr.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d after sequential load", i)
+		}
+	}
+}

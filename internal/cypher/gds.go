@@ -1,0 +1,182 @@
+package cypher
+
+import (
+	"sort"
+
+	"aion/internal/algo"
+	"aion/internal/csr"
+	"aion/internal/model"
+)
+
+// GDS-style analytics procedures (Sec 5.1: "Aion allows the creation of
+// static CSRs, known as graph projections, to exploit the efficient
+// parallel versions of the GDS library's algorithms"). Each procedure
+// materializes the snapshot at the requested timestamp, projects it to a
+// CSR, runs the parallel algorithm, and streams the result rows.
+
+func init() { /* registered from registerBuiltins */ }
+
+func registerGDS(e *Engine) {
+	e.Register("aion.gds.pagerank", procGDSPageRank)
+	e.Register("aion.gds.wcc", procGDSWCC)
+	e.Register("aion.gds.triangleCount", procGDSTriangles)
+	e.Register("aion.gds.bfs", procGDSBFS)
+	e.Register("aion.gds.sssp", procGDSSSSP)
+	e.Register("aion.gds.lcc", procGDSLCC)
+}
+
+// procGDSPageRank: aion.gds.pagerank(ts, topK) -> (node, rank) sorted by
+// rank descending.
+func procGDSPageRank(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 2, "aion.gds.pagerank"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	if err != nil {
+		return nil, err
+	}
+	c := csr.Build(g, csr.Options{Parallel: true})
+	ranks, _ := algo.PageRank(c, algo.PageRankOptions{})
+	type nr struct {
+		id   model.NodeID
+		rank float64
+	}
+	rows := make([]nr, 0, c.N)
+	for i, sid := range c.Dense.ToSparse {
+		rows = append(rows, nr{sid, ranks[i]})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].rank != rows[b].rank {
+			return rows[a].rank > rows[b].rank
+		}
+		return rows[a].id < rows[b].id
+	})
+	k := int(args[1].Int())
+	if k > 0 && k < len(rows) {
+		rows = rows[:k]
+	}
+	res := &Result{Columns: []string{"node", "rank"}}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, []Val{
+			ScalarVal(model.IntValue(int64(r.id))),
+			ScalarVal(model.FloatValue(r.rank)),
+		})
+	}
+	return res, nil
+}
+
+// procGDSWCC: aion.gds.wcc(ts) -> (component, size) sorted by size desc.
+func procGDSWCC(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 1, "aion.gds.wcc"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	if err != nil {
+		return nil, err
+	}
+	comp := algo.WCC(g)
+	sizes := map[int32]int64{}
+	for _, c := range comp {
+		if c >= 0 {
+			sizes[c]++
+		}
+	}
+	type cs struct {
+		id   int32
+		size int64
+	}
+	var rows []cs
+	for id, n := range sizes {
+		rows = append(rows, cs{id, n})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].size != rows[b].size {
+			return rows[a].size > rows[b].size
+		}
+		return rows[a].id < rows[b].id
+	})
+	res := &Result{Columns: []string{"component", "size"}}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, []Val{
+			ScalarVal(model.IntValue(int64(r.id))),
+			ScalarVal(model.IntValue(r.size)),
+		})
+	}
+	return res, nil
+}
+
+// procGDSTriangles: aion.gds.triangleCount(ts) -> (triangles).
+func procGDSTriangles(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 1, "aion.gds.triangleCount"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	if err != nil {
+		return nil, err
+	}
+	n := algo.TriangleCount(csr.Build(g, csr.Options{Parallel: true}))
+	return &Result{
+		Columns: []string{"triangles"},
+		Rows:    [][]Val{{ScalarVal(model.IntValue(n))}},
+	}, nil
+}
+
+// procGDSBFS: aion.gds.bfs(src, ts) -> (node, level) for reachable nodes.
+func procGDSBFS(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 2, "aion.gds.bfs"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	if err != nil {
+		return nil, err
+	}
+	levels := algo.BFS(g, model.NodeID(args[0].Int()))
+	res := &Result{Columns: []string{"node", "level"}}
+	for id, l := range levels {
+		if l >= 0 {
+			res.Rows = append(res.Rows, []Val{
+				ScalarVal(model.IntValue(int64(id))),
+				ScalarVal(model.IntValue(int64(l))),
+			})
+		}
+	}
+	return res, nil
+}
+
+// procGDSSSSP: aion.gds.sssp(src, ts, weightProp) -> (node, distance).
+func procGDSSSSP(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 3, "aion.gds.sssp"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	if err != nil {
+		return nil, err
+	}
+	dist := algo.SSSP(g, model.NodeID(args[0].Int()), args[2].Str())
+	res := &Result{Columns: []string{"node", "distance"}}
+	for id, d := range dist {
+		if d < 1e308 { // reachable
+			res.Rows = append(res.Rows, []Val{
+				ScalarVal(model.IntValue(int64(id))),
+				ScalarVal(model.FloatValue(d)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// procGDSLCC: aion.gds.lcc(nodeId, ts) -> (coefficient).
+func procGDSLCC(e *Engine, args []model.Value) (*Result, error) {
+	if err := argN(args, 2, "aion.gds.lcc"); err != nil {
+		return nil, err
+	}
+	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	if err != nil {
+		return nil, err
+	}
+	lcc := algo.LocalClusteringCoefficient(g, model.NodeID(args[0].Int()))
+	return &Result{
+		Columns: []string{"coefficient"},
+		Rows:    [][]Val{{ScalarVal(model.FloatValue(lcc))}},
+	}, nil
+}

@@ -1,0 +1,245 @@
+package enc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aion/internal/model"
+	"aion/internal/strstore"
+)
+
+func newCodec() *Codec { return NewCodec(strstore.NewMem()) }
+
+func rtUpdate(t *testing.T, c *Codec, u model.Update) model.Update {
+	t.Helper()
+	b, err := c.EncodeUpdate(u)
+	if err != nil {
+		t.Fatalf("encode %v: %v", u, err)
+	}
+	got, err := c.DecodeUpdate(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", u, err)
+	}
+	return got
+}
+
+func updatesEqual(a, b model.Update) bool {
+	a.Normalize()
+	b.Normalize()
+	if a.TS != b.TS || a.Kind != b.Kind || a.NodeID != b.NodeID ||
+		a.RelID != b.RelID || a.Src != b.Src || a.Tgt != b.Tgt || a.RelLabel != b.RelLabel {
+		return false
+	}
+	if !reflect.DeepEqual(a.AddLabels, b.AddLabels) || !reflect.DeepEqual(a.DelLabels, b.DelLabels) {
+		return false
+	}
+	if !a.SetProps.Equal(b.SetProps) {
+		return false
+	}
+	return reflect.DeepEqual(a.DelProps, b.DelProps)
+}
+
+func TestUpdateRoundTripAllKinds(t *testing.T) {
+	c := newCodec()
+	props := model.Properties{
+		"i":  model.IntValue(-42),
+		"f":  model.FloatValue(2.75),
+		"b":  model.BoolValue(true),
+		"s":  model.StringValue("neo"),
+		"ia": model.IntArrayValue([]int64{1, -2, 3}),
+		"fa": model.FloatArrayValue([]float64{0.5, -1.25}),
+		"sa": model.StringArrayValue([]string{"x", "y"}),
+	}
+	cases := []model.Update{
+		model.AddNode(1, 7, []string{"Person", "Author"}, props),
+		model.DeleteNode(2, 7),
+		model.UpdateNode(3, 7, []string{"New"}, []string{"Author"}, model.Properties{"k": model.IntValue(9)}, []string{"i"}),
+		model.AddRel(4, 11, 7, 8, "KNOWS", props),
+		model.DeleteRel(5, 11, 7, 8),
+		model.UpdateRel(6, 11, 7, 8, model.Properties{"w": model.FloatValue(1.5)}, []string{"f"}),
+	}
+	for _, u := range cases {
+		got := rtUpdate(t, c, u)
+		if !updatesEqual(u, got) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", u, got)
+		}
+	}
+}
+
+func TestUpdateRoundTripEmptyPayloads(t *testing.T) {
+	c := newCodec()
+	u := model.AddNode(1, 1, nil, nil)
+	got := rtUpdate(t, c, u)
+	if !updatesEqual(u, got) {
+		t.Errorf("empty node mismatch: %+v vs %+v", u, got)
+	}
+	r := model.AddRel(1, 1, 2, 3, "", nil)
+	got = rtUpdate(t, c, r)
+	if !updatesEqual(r, got) {
+		t.Errorf("empty rel mismatch: %+v vs %+v", r, got)
+	}
+}
+
+func TestDeleteRecordIsSmall(t *testing.T) {
+	// Deleted entities require space only for their id and timestamp
+	// (plus header); Sec 4.2 footnote 5.
+	c := newCodec()
+	b, err := c.EncodeUpdate(model.DeleteNode(1000, 123456))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > 12 {
+		t.Errorf("node tombstone is %d bytes, want <= 12", len(b))
+	}
+}
+
+func TestDecodeUpdateErrors(t *testing.T) {
+	c := newCodec()
+	if _, err := c.DecodeUpdate(nil); err == nil {
+		t.Error("nil record must fail")
+	}
+	if _, err := c.DecodeUpdate([]byte{0x00}); err == nil {
+		t.Error("truncated record must fail")
+	}
+	if _, err := c.DecodeUpdate([]byte{0x03, 0x01}); err == nil {
+		t.Error("unknown entity type must fail")
+	}
+}
+
+func TestUpdateRoundTripRandom(t *testing.T) {
+	c := newCodec()
+	rng := rand.New(rand.NewSource(42))
+	labels := []string{"A", "B", "C", "D"}
+	keys := []string{"p", "q", "r"}
+	for i := 0; i < 2000; i++ {
+		var u model.Update
+		ts := model.Timestamp(rng.Int63n(1 << 40))
+		switch rng.Intn(6) {
+		case 0:
+			u = model.AddNode(ts, model.NodeID(rng.Int63n(1e6)), []string{labels[rng.Intn(4)]},
+				model.Properties{keys[rng.Intn(3)]: model.IntValue(rng.Int63())})
+		case 1:
+			u = model.DeleteNode(ts, model.NodeID(rng.Int63n(1e6)))
+		case 2:
+			u = model.UpdateNode(ts, model.NodeID(rng.Int63n(1e6)),
+				[]string{labels[rng.Intn(4)]}, nil, nil, []string{keys[rng.Intn(3)]})
+		case 3:
+			u = model.AddRel(ts, model.RelID(rng.Int63n(1e6)), model.NodeID(rng.Int63n(1e6)),
+				model.NodeID(rng.Int63n(1e6)), labels[rng.Intn(4)],
+				model.Properties{keys[rng.Intn(3)]: model.FloatValue(rng.Float64())})
+		case 4:
+			u = model.DeleteRel(ts, model.RelID(rng.Int63n(1e6)), 1, 2)
+		case 5:
+			u = model.UpdateRel(ts, model.RelID(rng.Int63n(1e6)), 1, 2,
+				model.Properties{keys[rng.Intn(3)]: model.StringValue("v")}, nil)
+		}
+		got := rtUpdate(t, c, u)
+		if !updatesEqual(u, got) {
+			t.Fatalf("random round trip %d mismatch:\n in: %+v\nout: %+v", i, u, got)
+		}
+	}
+}
+
+func TestKeyOrderingMatchesNumericOrder(t *testing.T) {
+	// Byte-wise key comparison must match (id, ts) lexicographic order.
+	f := func(id1, id2 uint32, ts1, ts2 uint32) bool {
+		k1 := KeyNode(model.NodeID(id1), model.Timestamp(ts1))
+		k2 := KeyNode(model.NodeID(id2), model.Timestamp(ts2))
+		cmp := bytes.Compare(k1, k2)
+		var want int
+		switch {
+		case id1 != id2:
+			if id1 < id2 {
+				want = -1
+			} else {
+				want = 1
+			}
+		case ts1 < ts2:
+			want = -1
+		case ts1 > ts2:
+			want = 1
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighKeyGroupsByNodePrefix(t *testing.T) {
+	keys := [][]byte{
+		KeyNeigh(2, 1, 5),
+		KeyNeigh(1, 9, 0),
+		KeyNeigh(1, 2, 7),
+		KeyNeigh(1, 2, 3),
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	a0, b0, t0 := ParseKeyNeigh(keys[0])
+	if a0 != 1 || b0 != 2 || t0 != 3 {
+		t.Errorf("first key = (%d,%d,%d)", a0, b0, t0)
+	}
+	aLast, _, _ := ParseKeyNeigh(keys[3])
+	if aLast != 2 {
+		t.Error("node 2 entries must sort after all node 1 entries")
+	}
+	prefix := KeyNeighPrefix(1)
+	if !bytes.HasPrefix(keys[0], prefix) {
+		t.Error("prefix scan must match")
+	}
+}
+
+func TestKeyParseRoundTrip(t *testing.T) {
+	id, ts := ParseKeyNode(KeyNode(77, 88))
+	if id != 77 || ts != 88 {
+		t.Error("node key parse")
+	}
+	rid, rts := ParseKeyRel(KeyRel(5, model.TSInfinity))
+	if rid != 5 || rts != model.TSInfinity {
+		t.Error("rel key parse with infinity")
+	}
+	kts, seq := ParseKeyTS(KeyTS(123, 45))
+	if kts != 123 || seq != 45 {
+		t.Error("ts key parse")
+	}
+	r, del := ParseNeighValue(NeighValue(9, true))
+	if r != 9 || !del {
+		t.Error("neigh value parse")
+	}
+	r, del = ParseNeighValue(NeighValue(10, false))
+	if r != 10 || del {
+		t.Error("neigh value parse live")
+	}
+	if ParseU64Value(U64Value(1<<40)) != 1<<40 {
+		t.Error("u64 value parse")
+	}
+}
+
+func TestTSPrefixBoundsRange(t *testing.T) {
+	lo := KeyTSPrefix(100)
+	k := KeyTS(100, 0)
+	if bytes.Compare(lo, k) > 0 {
+		t.Error("prefix must sort <= full key at same ts")
+	}
+	hi := KeyTSPrefix(101)
+	if bytes.Compare(k, hi) >= 0 {
+		t.Error("full key at ts must sort < next ts prefix")
+	}
+}
+
+func TestStringInterningSharesRefs(t *testing.T) {
+	c := newCodec()
+	u1 := model.AddNode(1, 1, []string{"Person"}, model.Properties{"name": model.StringValue("x")})
+	u2 := model.AddNode(2, 2, []string{"Person"}, model.Properties{"name": model.StringValue("y")})
+	b1, _ := c.EncodeUpdate(u1)
+	b2, _ := c.EncodeUpdate(u2)
+	_ = b1
+	_ = b2
+	// "Person", "name", "x", "y" = 4 interned strings.
+	if c.Strings.Len() != 4 {
+		t.Errorf("interned %d strings, want 4", c.Strings.Len())
+	}
+}

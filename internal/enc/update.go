@@ -1,0 +1,176 @@
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aion/internal/model"
+)
+
+// Update record wire format (used by the TimeStore log and, re-keyed, by the
+// LineageStore values):
+//
+//	header(1) | ts uvarint | ids... | labels | props
+//
+// The header packs the entity type and the deleted/delta state per Fig 3.
+// Deleted entities require space only for their ID and timestamp.
+
+func headerFor(u model.Update) byte {
+	var h byte
+	switch u.Kind {
+	case model.OpAddNode, model.OpDeleteNode, model.OpUpdateNode:
+		h = byte(TypeNode)
+	default:
+		h = byte(TypeRel)
+	}
+	switch u.Kind {
+	case model.OpDeleteNode, model.OpDeleteRel:
+		h |= headerDeletedBit
+	case model.OpUpdateNode, model.OpUpdateRel:
+		h |= headerDeltaBit
+	}
+	return h
+}
+
+// AppendUpdate encodes u onto buf and returns the extended slice.
+func (c *Codec) AppendUpdate(buf []byte, u model.Update) ([]byte, error) {
+	buf = append(buf, headerFor(u))
+	buf = binary.AppendUvarint(buf, uint64(u.TS))
+	var err error
+	switch u.Kind {
+	case model.OpAddNode, model.OpUpdateNode:
+		buf = binary.AppendUvarint(buf, uint64(u.NodeID))
+		if buf, err = c.appendLabels(buf, u.AddLabels, u.DelLabels); err != nil {
+			return nil, err
+		}
+		if buf, err = c.appendProps(buf, u.SetProps, u.DelProps); err != nil {
+			return nil, err
+		}
+	case model.OpDeleteNode:
+		buf = binary.AppendUvarint(buf, uint64(u.NodeID))
+	case model.OpAddRel:
+		buf = binary.AppendUvarint(buf, uint64(u.RelID))
+		buf = binary.AppendUvarint(buf, uint64(u.Src))
+		buf = binary.AppendUvarint(buf, uint64(u.Tgt))
+		r, err := c.Strings.Intern(u.RelLabel)
+		if err != nil {
+			return nil, err
+		}
+		buf = c.appendRef(buf, r, 0)
+		if buf, err = c.appendProps(buf, u.SetProps, u.DelProps); err != nil {
+			return nil, err
+		}
+	case model.OpUpdateRel:
+		buf = binary.AppendUvarint(buf, uint64(u.RelID))
+		buf = binary.AppendUvarint(buf, uint64(u.Src))
+		buf = binary.AppendUvarint(buf, uint64(u.Tgt))
+		if buf, err = c.appendProps(buf, u.SetProps, u.DelProps); err != nil {
+			return nil, err
+		}
+	case model.OpDeleteRel:
+		buf = binary.AppendUvarint(buf, uint64(u.RelID))
+		buf = binary.AppendUvarint(buf, uint64(u.Src))
+		buf = binary.AppendUvarint(buf, uint64(u.Tgt))
+	default:
+		return nil, fmt.Errorf("enc: unknown op kind %v", u.Kind)
+	}
+	return buf, nil
+}
+
+// EncodeUpdate encodes u into a fresh buffer.
+func (c *Codec) EncodeUpdate(u model.Update) ([]byte, error) {
+	return c.AppendUpdate(make([]byte, 0, 64), u)
+}
+
+// DecodeUpdate decodes a record produced by AppendUpdate.
+func (c *Codec) DecodeUpdate(b []byte) (model.Update, error) {
+	var u model.Update
+	if len(b) < 1 {
+		return u, fmt.Errorf("enc: empty update record")
+	}
+	h := b[0]
+	b = b[1:]
+	ts, w := binary.Uvarint(b)
+	if w <= 0 {
+		return u, fmt.Errorf("enc: bad ts")
+	}
+	b = b[w:]
+	u.TS = model.Timestamp(ts)
+
+	typ := EntityType(h & headerTypeMask)
+	deleted := h&headerDeletedBit != 0
+	delta := h&headerDeltaBit != 0
+
+	readID := func() (int64, error) {
+		v, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, fmt.Errorf("enc: bad id")
+		}
+		b = b[w:]
+		return int64(v), nil
+	}
+
+	switch typ {
+	case TypeNode:
+		id, err := readID()
+		if err != nil {
+			return u, err
+		}
+		u.NodeID = model.NodeID(id)
+		switch {
+		case deleted:
+			u.Kind = model.OpDeleteNode
+		case delta:
+			u.Kind = model.OpUpdateNode
+		default:
+			u.Kind = model.OpAddNode
+		}
+		if deleted {
+			return u, nil
+		}
+		var err2 error
+		u.AddLabels, u.DelLabels, b, err2 = c.readLabels(b)
+		if err2 != nil {
+			return u, err2
+		}
+		u.SetProps, u.DelProps, _, err2 = c.readProps(b)
+		return u, err2
+	case TypeRel:
+		id, err := readID()
+		if err != nil {
+			return u, err
+		}
+		u.RelID = model.RelID(id)
+		src, err := readID()
+		if err != nil {
+			return u, err
+		}
+		tgt, err := readID()
+		if err != nil {
+			return u, err
+		}
+		u.Src, u.Tgt = model.NodeID(src), model.NodeID(tgt)
+		switch {
+		case deleted:
+			u.Kind = model.OpDeleteRel
+			return u, nil
+		case delta:
+			u.Kind = model.OpUpdateRel
+		default:
+			u.Kind = model.OpAddRel
+			ref, _, rest, err := readRef(b)
+			if err != nil {
+				return u, err
+			}
+			b = rest
+			u.RelLabel, err = c.Strings.Lookup(ref)
+			if err != nil {
+				return u, err
+			}
+		}
+		var err2 error
+		u.SetProps, u.DelProps, _, err2 = c.readProps(b)
+		return u, err2
+	}
+	return u, fmt.Errorf("enc: unknown entity type %d", typ)
+}

@@ -1,0 +1,193 @@
+// Package graphstore implements the GraphStore (Sec 5.1): an in-memory
+// Least-Recently-Used cache of graph snapshots keyed by timestamp. It also
+// maintains the latest graph version in memory, HTAP-style, by having the
+// owner apply all committed updates synchronously — which allows fast
+// snapshot replication without expensive read transactions against the host
+// database. Snapshots are handed out as Copy-on-Write clones (Sec 5.2) so
+// callers can replay updates forward without disturbing cached state.
+package graphstore
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+type entry struct {
+	ts    model.Timestamp
+	g     *memgraph.Graph
+	bytes int64
+	elem  *list.Element
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Bytes                   int64
+	Snapshots               int
+}
+
+// Store is the LRU snapshot cache plus the synchronously maintained latest
+// graph. All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	capacity int64 // byte budget for cached snapshots
+	bytes    int64
+	entries  map[model.Timestamp]*entry
+	order    []model.Timestamp // sorted, for floor lookups
+	lru      *list.List        // front = most recently used
+	latest   *memgraph.Graph
+	stats    Stats
+}
+
+// New creates a GraphStore with the given snapshot byte budget.
+func New(capacityBytes int64) *Store {
+	return NewWithLatest(capacityBytes, memgraph.New())
+}
+
+// NewWithLatest creates a GraphStore whose latest graph is pre-seeded with
+// a recovered state (used on reopen, when the latest graph is rebuilt from
+// the newest snapshot plus the log tail).
+func NewWithLatest(capacityBytes int64, latest *memgraph.Graph) *Store {
+	return &Store{
+		capacity: capacityBytes,
+		entries:  make(map[model.Timestamp]*entry),
+		lru:      list.New(),
+		latest:   latest,
+	}
+}
+
+// ApplyToLatest folds a committed update into the latest in-memory graph.
+func (s *Store) ApplyToLatest(u model.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.Apply(u)
+}
+
+// Latest returns a CoW clone of the latest graph version.
+func (s *Store) Latest() *memgraph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.Clone()
+}
+
+// LatestTimestamp returns the timestamp of the latest applied update.
+func (s *Store) LatestTimestamp() model.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.Timestamp()
+}
+
+// Put caches a snapshot under its own timestamp, evicting least recently
+// used snapshots if the byte budget is exceeded.
+func (s *Store) Put(g *memgraph.Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := g.Timestamp()
+	if old, ok := s.entries[ts]; ok {
+		s.bytes -= old.bytes
+		s.lru.Remove(old.elem)
+		delete(s.entries, ts)
+		s.removeOrder(ts)
+	}
+	e := &entry{ts: ts, g: g.Clone(), bytes: g.ApproxBytes()}
+	e.elem = s.lru.PushFront(e)
+	s.entries[ts] = e
+	s.bytes += e.bytes
+	s.insertOrder(ts)
+	s.evict()
+}
+
+func (s *Store) insertOrder(ts model.Timestamp) {
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i] >= ts })
+	s.order = append(s.order, 0)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = ts
+}
+
+func (s *Store) removeOrder(ts model.Timestamp) {
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i] >= ts })
+	if i < len(s.order) && s.order[i] == ts {
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+func (s *Store) evict() {
+	for s.bytes > s.capacity && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.ts)
+		s.removeOrder(e.ts)
+		s.bytes -= e.bytes
+		s.stats.Evictions++
+	}
+}
+
+// Get returns a CoW clone of the snapshot cached exactly at ts.
+func (s *Store) Get(ts model.Timestamp) (*memgraph.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[ts]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(e.elem)
+	return e.g.Clone(), true
+}
+
+// Floor returns a CoW clone of the cached snapshot with the largest
+// timestamp <= ts, so the caller can replay forward changes to reach the
+// exact state (Sec 4.3).
+func (s *Store) Floor(ts model.Timestamp) (*memgraph.Graph, model.Timestamp, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.order), func(i int) bool { return s.order[i] > ts })
+	if i == 0 {
+		s.stats.Misses++
+		return nil, 0, false
+	}
+	snapTS := s.order[i-1]
+	e := s.entries[snapTS]
+	s.stats.Hits++
+	s.lru.MoveToFront(e.elem)
+	return e.g.Clone(), snapTS, true
+}
+
+// LatestNode returns the current version of a node from the latest graph
+// without cloning. The returned node must not be mutated.
+func (s *Store) LatestNode(id model.NodeID) *model.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.Node(id)
+}
+
+// LatestRel returns the current version of a relationship from the latest
+// graph without cloning. The returned value must not be mutated.
+func (s *Store) LatestRel(id model.RelID) *model.Rel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.Rel(id)
+}
+
+// LatestCounts returns the node and relationship counts of the latest graph.
+func (s *Store) LatestCounts() (nodes, rels int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest.NodeCount(), s.latest.RelCount()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Bytes = s.bytes
+	st.Snapshots = len(s.entries)
+	return st
+}

@@ -1,0 +1,169 @@
+package graphstore
+
+import (
+	"testing"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+func snapshotAt(t *testing.T, ts model.Timestamp, nodes int) *memgraph.Graph {
+	t.Helper()
+	g := memgraph.New()
+	for i := 0; i < nodes; i++ {
+		if err := g.Apply(model.AddNode(1, model.NodeID(i), nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.SetTimestamp(ts)
+	return g
+}
+
+func TestPutGetExact(t *testing.T) {
+	s := New(1 << 20)
+	s.Put(snapshotAt(t, 10, 5))
+	g, ok := s.Get(10)
+	if !ok || g.NodeCount() != 5 {
+		t.Fatalf("Get(10) = %v %v", g, ok)
+	}
+	if _, ok := s.Get(11); ok {
+		t.Error("missing ts must miss")
+	}
+}
+
+func TestFloorSelectsClosestBelow(t *testing.T) {
+	s := New(1 << 20)
+	s.Put(snapshotAt(t, 10, 1))
+	s.Put(snapshotAt(t, 20, 2))
+	s.Put(snapshotAt(t, 30, 3))
+	g, snapTS, ok := s.Floor(25)
+	if !ok || snapTS != 20 || g.NodeCount() != 2 {
+		t.Fatalf("Floor(25) = ts %d nodes %d ok %v", snapTS, g.NodeCount(), ok)
+	}
+	if _, _, ok := s.Floor(5); ok {
+		t.Error("floor below all snapshots must miss")
+	}
+	_, snapTS, _ = s.Floor(30)
+	if snapTS != 30 {
+		t.Error("exact floor")
+	}
+	_, snapTS, _ = s.Floor(1 << 40)
+	if snapTS != 30 {
+		t.Error("floor above all returns max")
+	}
+}
+
+func TestReturnedSnapshotIsIsolated(t *testing.T) {
+	s := New(1 << 20)
+	s.Put(snapshotAt(t, 10, 2))
+	g1, _ := s.Get(10)
+	if err := g1.Apply(model.AddNode(11, 99, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := s.Get(10)
+	if g2.NodeCount() != 2 {
+		t.Error("cache must not observe caller mutations (CoW)")
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	one := snapshotAt(t, 1, 100)
+	budget := one.ApproxBytes()*2 + 10
+	s := New(budget)
+	for ts := model.Timestamp(1); ts <= 10; ts++ {
+		s.Put(snapshotAt(t, ts, 100))
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if st.Bytes > budget {
+		t.Errorf("bytes %d over budget %d", st.Bytes, budget)
+	}
+	// The most recently inserted snapshot must still be present.
+	if _, ok := s.Get(10); !ok {
+		t.Error("latest snapshot evicted")
+	}
+}
+
+func TestLRUOrderingKeepsHotEntries(t *testing.T) {
+	one := snapshotAt(t, 1, 50)
+	s := New(one.ApproxBytes()*3 + 10)
+	s.Put(snapshotAt(t, 1, 50))
+	s.Put(snapshotAt(t, 2, 50))
+	s.Put(snapshotAt(t, 3, 50))
+	// Touch ts=1 so it becomes most recently used.
+	s.Get(1)
+	s.Put(snapshotAt(t, 4, 50)) // evicts ts=2 (LRU), not ts=1
+	if _, ok := s.Get(1); !ok {
+		t.Error("hot entry evicted")
+	}
+	if _, ok := s.Get(2); ok {
+		t.Error("cold entry retained")
+	}
+}
+
+func TestLatestGraphMaintenance(t *testing.T) {
+	s := New(1 << 20)
+	if err := s.ApplyToLatest(model.AddNode(1, 0, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyToLatest(model.AddNode(2, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyToLatest(model.AddRel(3, 0, 0, 1, "R", nil)); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Latest()
+	if g.NodeCount() != 2 || g.RelCount() != 1 {
+		t.Fatalf("latest = %d/%d", g.NodeCount(), g.RelCount())
+	}
+	if s.LatestTimestamp() != 3 {
+		t.Errorf("latest ts = %d", s.LatestTimestamp())
+	}
+	// Mutating the returned clone must not corrupt the maintained copy.
+	g.Apply(model.AddNode(4, 9, nil, nil))
+	if s.Latest().NodeCount() != 2 {
+		t.Error("latest graph corrupted by caller")
+	}
+}
+
+func TestPutReplaceSameTimestamp(t *testing.T) {
+	s := New(1 << 20)
+	s.Put(snapshotAt(t, 10, 1))
+	s.Put(snapshotAt(t, 10, 7))
+	g, ok := s.Get(10)
+	if !ok || g.NodeCount() != 7 {
+		t.Errorf("replacement: %d nodes", g.NodeCount())
+	}
+	if s.Stats().Snapshots != 1 {
+		t.Errorf("snapshots = %d", s.Stats().Snapshots)
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	s := New(1 << 20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			s.ApplyToLatest(model.AddNode(model.Timestamp(i+1), model.NodeID(i), nil, nil))
+			if i%50 == 0 {
+				g := s.Latest()
+				g.SetTimestamp(model.Timestamp(i + 1))
+				s.Put(g)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		g := s.Latest()
+		_ = g.NodeCount()
+		s.Floor(model.Timestamp(i * 2))
+		s.LatestCounts()
+		s.LatestNode(model.NodeID(i))
+	}
+	<-done
+	if n, _ := s.LatestCounts(); n != 500 {
+		t.Errorf("nodes = %d", n)
+	}
+}

@@ -1,0 +1,716 @@
+// Package hostdb implements the host graph DBMS that Aion extends,
+// standing in for Neo4j (Sec 5.1): a transactional LPG store that maintains
+// the current graph version, assigns commit timestamps, persists fixed-size
+// entity records plus a retained transaction log (the dominant fragment of
+// Neo4j's storage cost in Fig 10), and fires after-commit event listeners —
+// the integration point through which Aion receives every change with a
+// valid transaction time and the guarantee of a consistent resulting graph.
+//
+// Transactions provide read-committed isolation: reads see the committed
+// graph at operation time plus the transaction's own writes.
+package hostdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"aion/internal/enc"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+	"aion/internal/pagecache"
+	"aion/internal/strstore"
+	"aion/internal/wal"
+)
+
+// Neo4j store-format record sizes (bytes), used to emulate the host's
+// on-disk footprint: nodes 15 B, relationships 34 B, properties 41 B.
+const (
+	NodeRecordBytes = 15
+	RelRecordBytes  = 34
+	PropRecordBytes = 41
+)
+
+// CommitListener is an after-commit event listener (stage 1 of Fig 4). It
+// receives the commit timestamp and all changes applied by the transaction.
+type CommitListener func(commitTS model.Timestamp, updates []model.Update)
+
+// Options configures a host database.
+type Options struct {
+	// Dir is the storage directory; empty means a fresh temp dir.
+	Dir string
+	// InMemory disables the record store and transaction log persistence
+	// (for benchmarks isolating compute).
+	InMemory bool
+	// SyncCommits fsyncs the transaction log on every commit, as Neo4j
+	// does for durability. Ingestion benchmarks enable it so the baseline
+	// carries a realistic per-commit cost.
+	SyncCommits bool
+}
+
+// DB is the host graph database.
+type DB struct {
+	opts     Options
+	mu       sync.RWMutex // guards current
+	commitMu sync.Mutex   // serializes commits
+	current  *memgraph.Graph
+	clock    model.Timestamp
+	nextNode model.NodeID
+	nextRel  model.RelID
+
+	strings *strstore.Store
+	codec   *enc.Codec
+	txnLog  *wal.Log // retained with no truncation, like Neo4j's
+
+	// Fixed-size record stores written through a page cache on every
+	// commit, like Neo4j's node/relationship/property store files.
+	nodeStore *recordStore
+	relStore  *recordStore
+	propStore *recordStore
+
+	recordBytes struct {
+		sync.Mutex
+		nodes, rels, props int64
+	}
+
+	listenerMu sync.RWMutex
+	listeners  []CommitListener
+}
+
+// Open creates or reopens a host database. Reopening replays the retained
+// transaction log to rebuild the current graph.
+func Open(opts Options) (*DB, error) {
+	if opts.Dir == "" && !opts.InMemory {
+		dir, err := os.MkdirTemp("", "aion-hostdb-*")
+		if err != nil {
+			return nil, err
+		}
+		opts.Dir = dir
+	}
+	db := &DB{opts: opts, current: memgraph.New()}
+	if opts.InMemory {
+		db.strings = strstore.NewMem()
+		db.codec = enc.NewCodec(db.strings)
+		return db, nil
+	}
+	var err error
+	db.strings, err = strstore.Open(filepath.Join(opts.Dir, "host-strings.db"))
+	if err != nil {
+		return nil, err
+	}
+	db.codec = enc.NewCodec(db.strings)
+	db.txnLog, err = wal.Open(filepath.Join(opts.Dir, "neostore.transaction.db"))
+	if err != nil {
+		return nil, err
+	}
+	if db.nodeStore, err = openRecordStore(filepath.Join(opts.Dir, "neostore.nodestore.db"), NodeRecordBytes); err != nil {
+		return nil, err
+	}
+	if db.relStore, err = openRecordStore(filepath.Join(opts.Dir, "neostore.relationshipstore.db"), RelRecordBytes); err != nil {
+		return nil, err
+	}
+	if db.propStore, err = openRecordStore(filepath.Join(opts.Dir, "neostore.propertystore.db"), PropRecordBytes); err != nil {
+		return nil, err
+	}
+	// Recovery: replay the transaction log.
+	_, err = db.txnLog.Scan(0, func(off int64, payload []byte) bool {
+		u, derr := db.codec.DecodeUpdate(payload)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if aerr := db.current.Apply(u); aerr != nil {
+			err = aerr
+			return false
+		}
+		db.accountRecords(u)
+		if u.TS > db.clock {
+			db.clock = u.TS
+		}
+		if u.Kind.IsNodeOp() && u.NodeID >= db.nextNode {
+			db.nextNode = u.NodeID + 1
+		}
+		if !u.Kind.IsNodeOp() && u.RelID >= db.nextRel {
+			db.nextRel = u.RelID + 1
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hostdb: recovery: %w", err)
+	}
+	return db, nil
+}
+
+// recordStore writes fixed-size records at id*size offsets through a page
+// cache, emulating Neo4j's store files (constant-time lookups by record id,
+// Sec 4.2). Only the write path matters for the host's cost model; reads go
+// through the in-memory graph.
+type recordStore struct {
+	mu   sync.Mutex
+	pc   *pagecache.Cache
+	size int64
+	next int64 // append cursor for chain-allocated records (properties)
+}
+
+func openRecordStore(path string, recordSize int64) (*recordStore, error) {
+	pc, err := pagecache.Open(path, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &recordStore{pc: pc, size: recordSize}, nil
+}
+
+// writeAt stamps the record slot for id (in-use flag + payload position).
+func (rs *recordStore) writeAt(id int64) {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	off := id * rs.size
+	pageID := pagecache.PageID(off / pagecache.PageSize)
+	for rs.pc.PageCount() <= uint64(pageID) {
+		pid, _, err := rs.pc.Allocate()
+		if err != nil {
+			return
+		}
+		rs.pc.Release(pid)
+	}
+	data, err := rs.pc.Get(pageID)
+	if err != nil {
+		return
+	}
+	data[off%pagecache.PageSize] = 1 // in-use flag
+	rs.pc.MarkDirty(pageID)
+	rs.pc.Release(pageID)
+}
+
+// appendRecord allocates the next chain slot (property records).
+func (rs *recordStore) appendRecord() {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	id := rs.next
+	rs.next++
+	rs.mu.Unlock()
+	rs.writeAt(id)
+}
+
+func (rs *recordStore) close() error {
+	if rs == nil {
+		return nil
+	}
+	return rs.pc.Close()
+}
+
+// accountRecords tracks the fixed-size record bytes a change consumes and
+// writes the record slots through the page cache, so every commit pays a
+// realistic store-file cost (relationship commands also rewrite both
+// endpoint node records, per Neo4j's neighbour-chain format).
+func (db *DB) accountRecords(u model.Update) {
+	db.recordBytes.Lock()
+	switch u.Kind {
+	case model.OpAddNode:
+		db.recordBytes.nodes += NodeRecordBytes
+		db.recordBytes.props += int64(len(u.SetProps)) * PropRecordBytes
+	case model.OpAddRel:
+		db.recordBytes.rels += RelRecordBytes
+		db.recordBytes.props += int64(len(u.SetProps)) * PropRecordBytes
+	case model.OpUpdateNode, model.OpUpdateRel:
+		db.recordBytes.props += int64(len(u.SetProps)) * PropRecordBytes
+	}
+	db.recordBytes.Unlock()
+
+	switch u.Kind {
+	case model.OpAddNode:
+		db.nodeStore.writeAt(int64(u.NodeID))
+		for range u.SetProps {
+			db.propStore.appendRecord()
+		}
+	case model.OpAddRel:
+		db.relStore.writeAt(int64(u.RelID))
+		db.nodeStore.writeAt(int64(u.Src))
+		db.nodeStore.writeAt(int64(u.Tgt))
+		for range u.SetProps {
+			db.propStore.appendRecord()
+		}
+	case model.OpDeleteNode:
+		db.nodeStore.writeAt(int64(u.NodeID))
+	case model.OpDeleteRel:
+		db.relStore.writeAt(int64(u.RelID))
+		db.nodeStore.writeAt(int64(u.Src))
+		db.nodeStore.writeAt(int64(u.Tgt))
+	case model.OpUpdateNode, model.OpUpdateRel:
+		for range u.SetProps {
+			db.propStore.appendRecord()
+		}
+	}
+}
+
+// OnCommit registers an after-commit event listener. Listeners run
+// synchronously in commit order, after the transaction's changes are
+// visible (matching Neo4j's after-commit phase).
+func (db *DB) OnCommit(l CommitListener) {
+	db.listenerMu.Lock()
+	defer db.listenerMu.Unlock()
+	db.listeners = append(db.listeners, l)
+}
+
+// Clock returns the newest commit timestamp.
+func (db *DB) Clock() model.Timestamp {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.clock
+}
+
+// Current returns a CoW clone of the latest committed graph (a read
+// snapshot).
+func (db *DB) Current() *memgraph.Graph {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.current.Clone()
+}
+
+// Counts returns the current node and relationship counts.
+func (db *DB) Counts() (nodes, rels int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.current.NodeCount(), db.current.RelCount()
+}
+
+// StorageBreakdown is the host's on-disk footprint by component (Fig 10's
+// Neo4j bar: records, property chains, and the retained transaction logs).
+type StorageBreakdown struct {
+	NodeRecords int64
+	RelRecords  int64
+	PropRecords int64
+	TxnLog      int64
+	Strings     int64
+}
+
+// Total sums all storage components.
+func (b StorageBreakdown) Total() int64 {
+	return b.NodeRecords + b.RelRecords + b.PropRecords + b.TxnLog + b.Strings
+}
+
+// Storage reports the host's storage breakdown.
+func (db *DB) Storage() StorageBreakdown {
+	db.recordBytes.Lock()
+	b := StorageBreakdown{
+		NodeRecords: db.recordBytes.nodes,
+		RelRecords:  db.recordBytes.rels,
+		PropRecords: db.recordBytes.props,
+	}
+	db.recordBytes.Unlock()
+	if db.txnLog != nil {
+		b.TxnLog = db.txnLog.Size()
+	}
+	b.Strings = db.strings.DiskBytes()
+	return b
+}
+
+// IndexAndMetadataBytes approximates Neo4j's label/token indexes, schema
+// store, and graph metadata — the remaining components of its 6-9x on-disk
+// expansion over the raw graph (Sec 6.4).
+func (db *DB) IndexAndMetadataBytes() int64 {
+	nodes, rels := db.Counts()
+	return int64(nodes)*24 + int64(rels)*8 + 64<<10
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	var firstErr error
+	if db.txnLog != nil {
+		if err := db.txnLog.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, rs := range []*recordStore{db.nodeStore, db.relStore, db.propStore} {
+		if err := rs.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.strings.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// --- transactions -----------------------------------------------------------
+
+// ErrRolledBack is returned when operating on a finished transaction.
+var ErrRolledBack = errors.New("hostdb: transaction finished")
+
+// Tx is a read-write transaction. Reads see the committed graph plus the
+// transaction's own staged writes, implemented as an overlay over the
+// current graph — no snapshot is cloned, which keeps Begin/Commit O(staged
+// changes) instead of O(graph). Not safe for concurrent use; run one
+// goroutine per transaction.
+type Tx struct {
+	db      *DB
+	updates []model.Update
+	done    bool
+
+	// Overlay: staged entity states (nil value = staged deletion) and the
+	// staged incident-relationship count delta per node (for the
+	// delete-node validation).
+	nodes    map[model.NodeID]*model.Node
+	rels     map[model.RelID]*model.Rel
+	relDelta map[model.NodeID]int
+}
+
+// Begin starts a transaction whose reads see the currently committed graph
+// plus its own writes.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db,
+		nodes:    make(map[model.NodeID]*model.Node),
+		rels:     make(map[model.RelID]*model.Rel),
+		relDelta: make(map[model.NodeID]int),
+	}
+}
+
+// View runs fn with read access to the committed graph, without cloning.
+// fn must not mutate the graph and must not retain the *Graph beyond the
+// call; entity pointers read from it stay valid because mutations replace
+// entity objects instead of updating them in place.
+func (db *DB) View(fn func(g *memgraph.Graph)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fn(db.current)
+}
+
+// committedNode reads a node from the committed graph.
+func (tx *Tx) committedNode(id model.NodeID) *model.Node {
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	return tx.db.current.Node(id)
+}
+
+func (tx *Tx) committedRel(id model.RelID) *model.Rel {
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	return tx.db.current.Rel(id)
+}
+
+func (tx *Tx) committedDegree(id model.NodeID) int {
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	return len(tx.db.current.Out(id)) + len(tx.db.current.In(id))
+}
+
+// stage validates one update against the transaction's view (overlay over
+// the committed graph) so violations surface at operation time, like
+// Neo4j's API, then records it for commit.
+func (tx *Tx) stage(u model.Update) error {
+	if tx.done {
+		return ErrRolledBack
+	}
+	switch u.Kind {
+	case model.OpAddNode:
+		if tx.Node(u.NodeID) != nil {
+			return fmt.Errorf("%w: node %d", model.ErrExists, u.NodeID)
+		}
+		n := &model.Node{ID: u.NodeID, Valid: model.Interval{Start: 0, End: model.TSInfinity}}
+		u.ApplyToNode(n)
+		tx.nodes[u.NodeID] = n
+	case model.OpDeleteNode:
+		if tx.Node(u.NodeID) == nil {
+			return fmt.Errorf("%w: node %d", model.ErrNotFound, u.NodeID)
+		}
+		if tx.committedDegree(u.NodeID)+tx.relDelta[u.NodeID] > 0 {
+			return fmt.Errorf("%w: node %d", model.ErrHasRels, u.NodeID)
+		}
+		tx.nodes[u.NodeID] = nil
+	case model.OpUpdateNode:
+		n := tx.Node(u.NodeID)
+		if n == nil {
+			return fmt.Errorf("%w: node %d", model.ErrNotFound, u.NodeID)
+		}
+		c := n.Clone()
+		u.ApplyToNode(c)
+		tx.nodes[u.NodeID] = c
+	case model.OpAddRel:
+		if tx.Node(u.Src) == nil || tx.Node(u.Tgt) == nil {
+			return fmt.Errorf("%w: rel %d (%d->%d)", model.ErrDangling, u.RelID, u.Src, u.Tgt)
+		}
+		if tx.Rel(u.RelID) != nil {
+			return fmt.Errorf("%w: rel %d", model.ErrExists, u.RelID)
+		}
+		r := &model.Rel{ID: u.RelID, Src: u.Src, Tgt: u.Tgt, Label: u.RelLabel,
+			Valid: model.Interval{Start: 0, End: model.TSInfinity}}
+		u.ApplyToRel(r)
+		tx.rels[u.RelID] = r
+		tx.relDelta[u.Src]++
+		tx.relDelta[u.Tgt]++
+	case model.OpDeleteRel:
+		r := tx.Rel(u.RelID)
+		if r == nil {
+			return fmt.Errorf("%w: rel %d", model.ErrNotFound, u.RelID)
+		}
+		tx.rels[u.RelID] = nil
+		tx.relDelta[r.Src]--
+		tx.relDelta[r.Tgt]--
+	case model.OpUpdateRel:
+		r := tx.Rel(u.RelID)
+		if r == nil {
+			return fmt.Errorf("%w: rel %d", model.ErrNotFound, u.RelID)
+		}
+		c := r.Clone()
+		u.ApplyToRel(c)
+		tx.rels[u.RelID] = c
+	}
+	tx.updates = append(tx.updates, u)
+	return nil
+}
+
+// CreateNode adds a node and returns its id.
+func (tx *Tx) CreateNode(labels []string, props model.Properties) (model.NodeID, error) {
+	tx.db.commitMu.Lock()
+	id := tx.db.nextNode
+	tx.db.nextNode++
+	tx.db.commitMu.Unlock()
+	return id, tx.stage(model.AddNode(0, id, labels, props))
+}
+
+// CreateRel adds a relationship and returns its id.
+func (tx *Tx) CreateRel(src, tgt model.NodeID, label string, props model.Properties) (model.RelID, error) {
+	tx.db.commitMu.Lock()
+	id := tx.db.nextRel
+	tx.db.nextRel++
+	tx.db.commitMu.Unlock()
+	return id, tx.stage(model.AddRel(0, id, src, tgt, label, props))
+}
+
+// CreateNodeWithID adds a node under a caller-chosen id (bulk-import path;
+// the allocator is bumped past it). Fails if the id is taken.
+func (tx *Tx) CreateNodeWithID(id model.NodeID, labels []string, props model.Properties) error {
+	tx.db.commitMu.Lock()
+	if id >= tx.db.nextNode {
+		tx.db.nextNode = id + 1
+	}
+	tx.db.commitMu.Unlock()
+	return tx.stage(model.AddNode(0, id, labels, props))
+}
+
+// CreateRelWithID adds a relationship under a caller-chosen id.
+func (tx *Tx) CreateRelWithID(id model.RelID, src, tgt model.NodeID, label string, props model.Properties) error {
+	tx.db.commitMu.Lock()
+	if id >= tx.db.nextRel {
+		tx.db.nextRel = id + 1
+	}
+	tx.db.commitMu.Unlock()
+	return tx.stage(model.AddRel(0, id, src, tgt, label, props))
+}
+
+// DeleteNode removes a node (which must have no relationships).
+func (tx *Tx) DeleteNode(id model.NodeID) error {
+	return tx.stage(model.DeleteNode(0, id))
+}
+
+// DeleteRel removes a relationship.
+func (tx *Tx) DeleteRel(id model.RelID) error {
+	r := tx.Rel(id)
+	if r == nil {
+		return fmt.Errorf("%w: rel %d", model.ErrNotFound, id)
+	}
+	return tx.stage(model.DeleteRel(0, id, r.Src, r.Tgt))
+}
+
+// SetNodeProps sets and/or deletes node properties.
+func (tx *Tx) SetNodeProps(id model.NodeID, set model.Properties, del []string) error {
+	return tx.stage(model.UpdateNode(0, id, nil, nil, set, del))
+}
+
+// SetNodeLabels adds and/or removes node labels.
+func (tx *Tx) SetNodeLabels(id model.NodeID, add, remove []string) error {
+	return tx.stage(model.UpdateNode(0, id, add, remove, nil, nil))
+}
+
+// SetRelProps sets and/or deletes relationship properties.
+func (tx *Tx) SetRelProps(id model.RelID, set model.Properties, del []string) error {
+	r := tx.Rel(id)
+	if r == nil {
+		return fmt.Errorf("%w: rel %d", model.ErrNotFound, id)
+	}
+	return tx.stage(model.UpdateRel(0, id, r.Src, r.Tgt, set, del))
+}
+
+// Node reads a node through the transaction (read-your-writes).
+func (tx *Tx) Node(id model.NodeID) *model.Node {
+	if n, ok := tx.nodes[id]; ok {
+		return n
+	}
+	return tx.committedNode(id)
+}
+
+// Rel reads a relationship through the transaction.
+func (tx *Tx) Rel(id model.RelID) *model.Rel {
+	if r, ok := tx.rels[id]; ok {
+		return r
+	}
+	return tx.committedRel(id)
+}
+
+// IncidentRels lists the relationships incident to a node as seen by the
+// transaction (committed minus staged deletions plus staged creations).
+func (tx *Tx) IncidentRels(id model.NodeID) []model.RelID {
+	var out []model.RelID
+	tx.db.mu.RLock()
+	out = append(out, tx.db.current.Out(id)...)
+	out = append(out, tx.db.current.In(id)...)
+	tx.db.mu.RUnlock()
+	kept := out[:0]
+	for _, rid := range out {
+		if r, staged := tx.rels[rid]; staged && r == nil {
+			continue // staged deletion
+		}
+		kept = append(kept, rid)
+	}
+	committed := map[model.RelID]bool{}
+	for _, rid := range kept {
+		committed[rid] = true
+	}
+	for rid, r := range tx.rels {
+		if r != nil && !committed[rid] && (r.Src == id || r.Tgt == id) {
+			kept = append(kept, rid)
+		}
+	}
+	return kept
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() {
+	tx.done = true
+	tx.updates = nil
+}
+
+// Commit atomically applies the staged changes: it assigns the commit
+// timestamp, updates the current graph, appends to the retained transaction
+// log, and fires the after-commit listeners with the stamped updates.
+func (tx *Tx) Commit() (model.Timestamp, error) {
+	if tx.done {
+		return 0, ErrRolledBack
+	}
+	tx.done = true
+	if len(tx.updates) == 0 {
+		return tx.db.Clock(), nil
+	}
+	db := tx.db
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+
+	ts := db.clock + 1
+	for i := range tx.updates {
+		tx.updates[i].TS = ts
+	}
+	// Apply to the committed graph; a conflicting concurrent commit (e.g.
+	// the same node deleted twice) surfaces here and aborts.
+	db.mu.Lock()
+	applied := 0
+	var err error
+	for _, u := range tx.updates {
+		if err = db.current.Apply(u); err != nil {
+			break
+		}
+		applied++
+	}
+	if err != nil {
+		// Roll the partial application back by rebuilding from the log is
+		// expensive; instead undo via the inverse of the applied prefix.
+		// Conflicts are rare; we rebuild the view conservatively.
+		db.rollbackPrefix(tx.updates[:applied])
+		db.mu.Unlock()
+		return 0, fmt.Errorf("hostdb: commit conflict: %w", err)
+	}
+	db.clock = ts
+	db.mu.Unlock()
+
+	// Durability: append every change to the retained transaction log.
+	// Neo4j's log commands carry a fixed envelope plus before- and
+	// after-images of every touched record — a relationship command also
+	// images both endpoint node records and the neighbour-chain pointers —
+	// and this log is the largest fragment of Neo4j's 6-9x storage
+	// expansion (Sec 6.4). We emulate that weight by writing the update
+	// twice behind a fixed multi-record envelope.
+	if db.txnLog != nil {
+		const commandEnvelope = 160
+		buf := make([]byte, 0, 256)
+		for _, u := range tx.updates {
+			buf = buf[:0]
+			buf, err = db.codec.AppendUpdate(buf, u)
+			if err != nil {
+				return 0, err
+			}
+			images := len(buf)
+			buf = append(buf, buf[:images]...)                  // before-image
+			buf = append(buf, make([]byte, commandEnvelope)...) // envelope
+			if _, err := db.txnLog.Append(buf); err != nil {
+				return 0, err
+			}
+		}
+		if db.opts.SyncCommits {
+			if err := db.txnLog.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, u := range tx.updates {
+		db.accountRecords(u)
+	}
+
+	// After-commit phase: notify listeners (Aion's ingestion entry point).
+	db.listenerMu.RLock()
+	listeners := db.listeners
+	db.listenerMu.RUnlock()
+	for _, l := range listeners {
+		l(ts, tx.updates)
+	}
+	return ts, nil
+}
+
+// rollbackPrefix undoes a partially applied update prefix in reverse order.
+func (db *DB) rollbackPrefix(applied []model.Update) {
+	for i := len(applied) - 1; i >= 0; i-- {
+		u := applied[i]
+		switch u.Kind {
+		case model.OpAddNode:
+			_ = db.current.Apply(model.DeleteNode(u.TS, u.NodeID))
+		case model.OpAddRel:
+			_ = db.current.Apply(model.DeleteRel(u.TS, u.RelID, u.Src, u.Tgt))
+		default:
+			// Deletions and updates of pre-existing entities cannot be
+			// rolled back structurally without their prior state; rebuild
+			// from scratch via the log in that rare case.
+			db.rebuildFromLog()
+			return
+		}
+	}
+}
+
+// rebuildFromLog reconstructs the current graph from the transaction log.
+func (db *DB) rebuildFromLog() {
+	g := memgraph.New()
+	if db.txnLog != nil {
+		db.txnLog.Scan(0, func(off int64, payload []byte) bool {
+			if u, err := db.codec.DecodeUpdate(payload); err == nil {
+				_ = g.Apply(u)
+			}
+			return true
+		})
+	}
+	db.current = g
+}
+
+// Run executes fn inside a transaction, committing on success and rolling
+// back on error.
+func (db *DB) Run(fn func(tx *Tx) error) (model.Timestamp, error) {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return 0, err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,267 @@
+package hostdb
+
+import (
+	"sync"
+	"testing"
+
+	"aion/internal/model"
+)
+
+func openDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.Dir == "" && !opts.InMemory {
+		opts.Dir = t.TempDir()
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestBasicTransaction(t *testing.T) {
+	db := openDB(t, Options{})
+	tx := db.Begin()
+	a, err := tx.CreateNode([]string{"Person"}, model.Properties{"name": model.StringValue("ada")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := tx.CreateNode([]string{"Person"}, nil)
+	r, err := tx.CreateRel(a, b, "KNOWS", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes before commit.
+	if tx.Node(a) == nil || tx.Rel(r) == nil {
+		t.Fatal("transaction must see its own writes")
+	}
+	// Not visible outside before commit.
+	if db.Current().Node(a) != nil {
+		t.Fatal("uncommitted write visible")
+	}
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 1 {
+		t.Errorf("first commit ts = %d", ts)
+	}
+	g := db.Current()
+	if g.Node(a) == nil || g.Rel(r) == nil {
+		t.Fatal("committed writes missing")
+	}
+}
+
+func TestRollback(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	tx := db.Begin()
+	tx.CreateNode(nil, nil)
+	tx.Rollback()
+	if _, err := tx.Commit(); err != ErrRolledBack {
+		t.Errorf("commit after rollback: %v", err)
+	}
+	if n, _ := db.Counts(); n != 0 {
+		t.Error("rolled-back write persisted")
+	}
+}
+
+func TestCommitTimestampsMonotonic(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	var last model.Timestamp
+	for i := 0; i < 10; i++ {
+		ts, err := db.Run(func(tx *Tx) error {
+			_, err := tx.CreateNode(nil, nil)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= last {
+			t.Fatalf("non-monotonic commit ts %d after %d", ts, last)
+		}
+		last = ts
+	}
+}
+
+func TestListenersReceiveStampedUpdates(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	var mu sync.Mutex
+	var got []model.Update
+	var gotTS model.Timestamp
+	db.OnCommit(func(ts model.Timestamp, us []model.Update) {
+		mu.Lock()
+		defer mu.Unlock()
+		gotTS = ts
+		got = append(got, us...)
+	})
+	db.Run(func(tx *Tx) error {
+		a, _ := tx.CreateNode([]string{"X"}, nil)
+		b, _ := tx.CreateNode(nil, nil)
+		_, err := tx.CreateRel(a, b, "R", nil)
+		return err
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("listener saw %d updates", len(got))
+	}
+	for _, u := range got {
+		if u.TS != gotTS || u.TS == 0 {
+			t.Errorf("update not stamped: %+v", u)
+		}
+	}
+}
+
+func TestConstraintsSurfaceAtOperationTime(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	db.Run(func(tx *Tx) error {
+		a, _ := tx.CreateNode(nil, nil)
+		b, _ := tx.CreateNode(nil, nil)
+		_, err := tx.CreateRel(a, b, "R", nil)
+		return err
+	})
+	tx := db.Begin()
+	// Deleting a node that still has a relationship fails eagerly.
+	if err := tx.DeleteNode(0); err == nil {
+		t.Error("delete with rels must fail")
+	}
+	// Dangling rel creation fails eagerly.
+	if _, err := tx.CreateRel(0, 999, "R", nil); err == nil {
+		t.Error("dangling rel must fail")
+	}
+	tx.Rollback()
+}
+
+func TestDeleteFlow(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	var rel model.RelID
+	db.Run(func(tx *Tx) error {
+		a, _ := tx.CreateNode(nil, nil)
+		b, _ := tx.CreateNode(nil, nil)
+		rel, _ = tx.CreateRel(a, b, "R", nil)
+		return nil
+	})
+	_, err := db.Run(func(tx *Tx) error {
+		if err := tx.DeleteRel(rel); err != nil {
+			return err
+		}
+		return tx.DeleteNode(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, rels := db.Counts()
+	if nodes != 1 || rels != 0 {
+		t.Errorf("counts after delete: %d/%d", nodes, rels)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := db.Run(func(tx *Tx) error {
+					_, err := tx.CreateNode([]string{"W"}, nil)
+					return err
+				}); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	nodes, _ := db.Counts()
+	if nodes != writers*perWriter {
+		t.Errorf("nodes = %d, want %d", nodes, writers*perWriter)
+	}
+	if db.Clock() != model.Timestamp(writers*perWriter) {
+		t.Errorf("clock = %d", db.Clock())
+	}
+}
+
+func TestRecoveryFromTxnLog(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Run(func(tx *Tx) error {
+		a, _ := tx.CreateNode([]string{"P"}, model.Properties{"k": model.IntValue(1)})
+		b, _ := tx.CreateNode(nil, nil)
+		tx.CreateRel(a, b, "R", nil)
+		return nil
+	})
+	db.Run(func(tx *Tx) error { return tx.SetNodeProps(0, model.Properties{"k": model.IntValue(2)}, nil) })
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	nodes, rels := db2.Counts()
+	if nodes != 2 || rels != 1 {
+		t.Fatalf("recovered counts %d/%d", nodes, rels)
+	}
+	if db2.Current().Node(0).Props["k"].Int() != 2 {
+		t.Error("recovered property value")
+	}
+	if db2.Clock() != 2 {
+		t.Errorf("recovered clock = %d", db2.Clock())
+	}
+	// New ids continue after recovered ones.
+	var newID model.NodeID
+	db2.Run(func(tx *Tx) error {
+		newID, _ = tx.CreateNode(nil, nil)
+		return nil
+	})
+	if newID != 2 {
+		t.Errorf("new node id = %d, want 2", newID)
+	}
+}
+
+func TestStorageBreakdown(t *testing.T) {
+	db := openDB(t, Options{})
+	db.Run(func(tx *Tx) error {
+		a, _ := tx.CreateNode([]string{"P"}, model.Properties{"x": model.IntValue(1), "y": model.IntValue(2)})
+		b, _ := tx.CreateNode(nil, nil)
+		tx.CreateRel(a, b, "R", model.Properties{"w": model.FloatValue(1)})
+		return nil
+	})
+	b := db.Storage()
+	if b.NodeRecords != 2*NodeRecordBytes {
+		t.Errorf("node records = %d", b.NodeRecords)
+	}
+	if b.RelRecords != RelRecordBytes {
+		t.Errorf("rel records = %d", b.RelRecords)
+	}
+	if b.PropRecords != 3*PropRecordBytes {
+		t.Errorf("prop records = %d", b.PropRecords)
+	}
+	if b.TxnLog == 0 {
+		t.Error("txn log must be retained")
+	}
+	if b.Total() <= b.TxnLog {
+		t.Error("total must include records")
+	}
+}
+
+func TestEmptyCommitIsNoop(t *testing.T) {
+	db := openDB(t, Options{InMemory: true})
+	before := db.Clock()
+	tx := db.Begin()
+	ts, err := tx.Commit()
+	if err != nil || ts != before {
+		t.Errorf("empty commit: ts %d err %v", ts, err)
+	}
+}

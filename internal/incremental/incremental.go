@@ -1,0 +1,256 @@
+// Package incremental implements the three classes of incremental
+// algorithms Aion supports (Sec 5.2): non-holistic aggregations (running
+// AVG over a property, with stream-processing-style state), monotonic
+// path-based algorithms (BFS with the tag-and-reset technique of
+// Kickstarter), and non-monotonic algorithms that converge independently of
+// initialization (PageRank with warm-started delta propagation).
+//
+// Each algorithm keeps intermediate state, consumes getDiff batches between
+// snapshots, and avoids redundant work when analyzing consecutive
+// snapshots.
+package incremental
+
+import (
+	"aion/internal/algo"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// Avg maintains a running global average of a relationship property — a
+// non-holistic aggregation needing only a counter and a sum over the active
+// relationships, with no dependency tracking for deletions (Sec 6.6).
+type Avg struct {
+	prop   string
+	sum    float64
+	count  int64
+	values map[model.RelID]float64 // current contribution per live rel
+}
+
+// NewAvg creates a running average over the given relationship property.
+func NewAvg(prop string) *Avg {
+	return &Avg{prop: prop, values: make(map[model.RelID]float64)}
+}
+
+// InitFrom seeds the aggregate from a full snapshot.
+func (a *Avg) InitFrom(g *memgraph.Graph) {
+	a.sum, a.count = 0, 0
+	clear(a.values)
+	g.ForEachRel(func(r *model.Rel) bool {
+		if v, ok := r.Props[a.prop]; ok {
+			a.add(r.ID, v.Float())
+		}
+		return true
+	})
+}
+
+func (a *Avg) add(id model.RelID, v float64) {
+	a.values[id] = v
+	a.sum += v
+	a.count++
+}
+
+func (a *Avg) remove(id model.RelID) {
+	if v, ok := a.values[id]; ok {
+		delete(a.values, id)
+		a.sum -= v
+		a.count--
+	}
+}
+
+// ApplyDiff folds a batch of graph updates into the aggregate.
+func (a *Avg) ApplyDiff(us []model.Update) {
+	for _, u := range us {
+		switch u.Kind {
+		case model.OpAddRel:
+			if v, ok := u.SetProps[a.prop]; ok {
+				a.add(u.RelID, v.Float())
+			}
+		case model.OpDeleteRel:
+			a.remove(u.RelID)
+		case model.OpUpdateRel:
+			if v, ok := u.SetProps[a.prop]; ok {
+				a.remove(u.RelID)
+				a.add(u.RelID, v.Float())
+			}
+			for _, k := range u.DelProps {
+				if k == a.prop {
+					a.remove(u.RelID)
+				}
+			}
+		}
+	}
+}
+
+// Value returns the current average (0 when no contributions exist).
+func (a *Avg) Value() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.sum / float64(a.count)
+}
+
+// Count returns the number of contributing relationships.
+func (a *Avg) Count() int64 { return a.count }
+
+// BFS maintains hop distances from a source across snapshots using the tag
+// and reset technique (Sec 5.2): deletions tag the nodes whose distance may
+// depend on a removed edge, reset them, and re-propagate from the intact
+// frontier; additions relax directly.
+type BFS struct {
+	src    model.NodeID
+	levels []int32
+}
+
+// NewBFS seeds incremental BFS from a full snapshot.
+func NewBFS(g *memgraph.Graph, src model.NodeID) *BFS {
+	return &BFS{src: src, levels: algo.BFS(g, src)}
+}
+
+// Levels returns the current distance vector indexed by sparse node id
+// (algo.Unreachable where no path exists). Callers must not mutate it.
+func (b *BFS) Levels() []int32 { return b.levels }
+
+func (b *BFS) grow(n model.NodeID) {
+	for int(n) > len(b.levels) {
+		b.levels = append(b.levels, algo.Unreachable)
+	}
+}
+
+// ApplyDiff updates the distances after the updates in us have been applied
+// to g (g is the post-diff snapshot).
+func (b *BFS) ApplyDiff(g *memgraph.Graph, us []model.Update) {
+	b.grow(g.MaxNodeID())
+	var relaxFrom []model.NodeID
+	var suspects []model.NodeID
+
+	for _, u := range us {
+		switch u.Kind {
+		case model.OpAddRel:
+			// A new edge u->v can only lower v's level; relax just that
+			// edge and propagate from v if it improved (edge-local
+			// relaxation — rescanning u's whole neighbourhood would make
+			// addition-heavy diffs slower than recomputing).
+			if lu := b.levels[u.Src]; lu != algo.Unreachable {
+				if lv := b.levels[u.Tgt]; lv == algo.Unreachable || lv > lu+1 {
+					b.levels[u.Tgt] = lu + 1
+					relaxFrom = append(relaxFrom, u.Tgt)
+				}
+			}
+		case model.OpDeleteRel:
+			// v's level may have depended on the deleted edge: tag it.
+			if int(u.Tgt) < len(b.levels) && b.levels[u.Tgt] != algo.Unreachable {
+				suspects = append(suspects, u.Tgt)
+			}
+		case model.OpDeleteNode:
+			if int(u.NodeID) < len(b.levels) {
+				b.levels[u.NodeID] = algo.Unreachable
+			}
+		case model.OpAddNode:
+			b.grow(u.NodeID + 1)
+			if u.NodeID == b.src {
+				b.levels[b.src] = 0
+				relaxFrom = append(relaxFrom, b.src)
+			}
+		}
+	}
+
+	// Tag and reset: transitively tag nodes whose level is no longer
+	// justified by a live in-neighbour, reset them, and remember the
+	// boundary nodes to re-propagate from.
+	tagged := map[model.NodeID]bool{}
+	queue := suspects
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if tagged[v] || v == b.src || g.Node(v) == nil {
+			continue
+		}
+		lvl := b.levels[v]
+		if lvl == algo.Unreachable {
+			continue
+		}
+		justified := false
+		g.Neighbours(v, model.Incoming, func(_ *model.Rel, nb model.NodeID) bool {
+			if !tagged[nb] && b.levels[nb] != algo.Unreachable && b.levels[nb]+1 == lvl {
+				justified = true
+				return false
+			}
+			return true
+		})
+		if justified {
+			continue
+		}
+		tagged[v] = true
+		b.levels[v] = algo.Unreachable
+		// Tag dependents: every reachable out-neighbour is re-examined
+		// (v's level may have changed earlier in this same diff, so
+		// filtering by lvl+1 would miss dependents of its older values;
+		// over-tagging is safe, under-tagging is not).
+		g.Neighbours(v, model.Outgoing, func(_ *model.Rel, nb model.NodeID) bool {
+			if !tagged[nb] && b.levels[nb] != algo.Unreachable {
+				queue = append(queue, nb)
+			}
+			return true
+		})
+	}
+	// Re-propagate: every live node with a known level adjacent to a
+	// tagged one, plus explicitly relaxed sources.
+	frontier := relaxFrom
+	for v := range tagged {
+		g.Neighbours(v, model.Incoming, func(_ *model.Rel, nb model.NodeID) bool {
+			if b.levels[nb] != algo.Unreachable {
+				frontier = append(frontier, nb)
+			}
+			return true
+		})
+	}
+	b.relax(g, frontier)
+}
+
+// relax runs BFS from the frontier, lowering levels where improved.
+func (b *BFS) relax(g *memgraph.Graph, frontier []model.NodeID) {
+	queue := frontier
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if g.Node(cur) == nil || b.levels[cur] == algo.Unreachable {
+			continue
+		}
+		next := b.levels[cur] + 1
+		g.Neighbours(cur, model.Outgoing, func(_ *model.Rel, nb model.NodeID) bool {
+			if b.levels[nb] == algo.Unreachable || b.levels[nb] > next {
+				b.levels[nb] = next
+				queue = append(queue, nb)
+			}
+			return true
+		})
+	}
+}
+
+// PageRank maintains ranks across snapshots by warm-starting the power
+// iteration from the previous result — a non-monotonic algorithm that
+// converges to the correct values independently of initialization
+// (Sec 5.2), so consecutive snapshots need far fewer iterations.
+type PageRank struct {
+	opts  algo.PageRankOptions
+	ranks map[model.NodeID]float64 // by sparse id, survives re-projection
+	// LastIterations reports the iteration count of the most recent run.
+	LastIterations int
+}
+
+// NewPageRank creates an incremental PageRank with the given options.
+func NewPageRank(opts algo.PageRankOptions) *PageRank {
+	return &PageRank{opts: opts, ranks: make(map[model.NodeID]float64)}
+}
+
+// Run computes ranks for the snapshot, warm-starting from the previous
+// result where node identities persist. It executes directly on the
+// dynamic graph representation — no CSR projection (Sec 5.2): for
+// warm-started runs the projection cost would dominate the few iterations
+// needed. It returns ranks by sparse node id.
+func (p *PageRank) Run(g *memgraph.Graph) map[model.NodeID]float64 {
+	ranks, iters := algo.PageRankDynamic(g, p.ranks, p.opts)
+	p.LastIterations = iters
+	p.ranks = ranks
+	return p.ranks
+}

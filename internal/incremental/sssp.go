@@ -1,0 +1,200 @@
+package incremental
+
+import (
+	"container/heap"
+	"math"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// SSSP maintains single-source shortest path distances across snapshots —
+// the second monotonic path-based algorithm of Sec 5.2. Like incremental
+// BFS it uses tag and reset for deletions: distances that may have depended
+// on a removed edge are invalidated transitively and re-relaxed from the
+// intact frontier; edge additions relax locally.
+type SSSP struct {
+	src  model.NodeID
+	prop string
+	dist []float64
+}
+
+// NewSSSP seeds incremental SSSP from a full snapshot (weights read from
+// the given relationship property; missing weights default to 1).
+func NewSSSP(g *memgraph.Graph, src model.NodeID, weightProp string) *SSSP {
+	s := &SSSP{src: src, prop: weightProp}
+	s.dist = ssspFull(g, src, weightProp)
+	return s
+}
+
+func ssspFull(g *memgraph.Graph, src model.NodeID, prop string) []float64 {
+	dist := make([]float64, g.MaxNodeID())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if g.Node(src) == nil {
+		return dist
+	}
+	dist[src] = 0
+	pq := &pqueue{{src, 0}}
+	relaxHeap(g, prop, dist, pq)
+	return dist
+}
+
+func weight(r *model.Rel, prop string) float64 {
+	if v, ok := r.Props[prop]; ok {
+		return v.Float()
+	}
+	return 1
+}
+
+// Distances returns the current distance vector indexed by sparse node id
+// (+Inf where unreachable). Callers must not mutate it.
+func (s *SSSP) Distances() []float64 { return s.dist }
+
+func (s *SSSP) grow(n model.NodeID) {
+	for int(n) > len(s.dist) {
+		s.dist = append(s.dist, math.Inf(1))
+	}
+}
+
+// ApplyDiff updates the distances after the updates in us have been applied
+// to g (the post-diff snapshot).
+func (s *SSSP) ApplyDiff(g *memgraph.Graph, us []model.Update) {
+	s.grow(g.MaxNodeID())
+	pq := &pqueue{}
+	var suspects []model.NodeID
+
+	for _, u := range us {
+		switch u.Kind {
+		case model.OpAddRel:
+			// Relax the new edge locally; weight read from the live rel.
+			if du := s.dist[u.Src]; !math.IsInf(du, 1) {
+				r := g.Rel(u.RelID)
+				if r == nil {
+					continue // added and deleted within the same diff
+				}
+				if nd := du + weight(r, s.prop); nd < s.dist[u.Tgt] {
+					s.dist[u.Tgt] = nd
+					heap.Push(pq, pqItem{u.Tgt, nd})
+				}
+			}
+		case model.OpUpdateRel:
+			// A weight change can lower (relax) or raise (suspect) a path.
+			r := g.Rel(u.RelID)
+			if r == nil {
+				continue
+			}
+			if du := s.dist[r.Src]; !math.IsInf(du, 1) {
+				nd := du + weight(r, s.prop)
+				switch {
+				case nd < s.dist[r.Tgt]:
+					s.dist[r.Tgt] = nd
+					heap.Push(pq, pqItem{r.Tgt, nd})
+				case nd > s.dist[r.Tgt]:
+					suspects = append(suspects, r.Tgt)
+				}
+			}
+		case model.OpDeleteRel:
+			if int(u.Tgt) < len(s.dist) && !math.IsInf(s.dist[u.Tgt], 1) {
+				suspects = append(suspects, u.Tgt)
+			}
+		case model.OpDeleteNode:
+			if int(u.NodeID) < len(s.dist) {
+				s.dist[u.NodeID] = math.Inf(1)
+			}
+		case model.OpAddNode:
+			s.grow(u.NodeID + 1)
+			if u.NodeID == s.src {
+				s.dist[s.src] = 0
+				heap.Push(pq, pqItem{s.src, 0})
+			}
+		}
+	}
+
+	// Tag and reset: invalidate distances not justified by an intact
+	// in-edge, transitively.
+	tagged := map[model.NodeID]bool{}
+	queue := suspects
+	const eps = 1e-12
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if tagged[v] || v == s.src || g.Node(v) == nil {
+			continue
+		}
+		dv := s.dist[v]
+		if math.IsInf(dv, 1) {
+			continue
+		}
+		justified := false
+		g.Neighbours(v, model.Incoming, func(r *model.Rel, nb model.NodeID) bool {
+			if !tagged[nb] && !math.IsInf(s.dist[nb], 1) &&
+				math.Abs(s.dist[nb]+weight(r, s.prop)-dv) < eps {
+				justified = true
+				return false
+			}
+			return true
+		})
+		if justified {
+			continue
+		}
+		tagged[v] = true
+		s.dist[v] = math.Inf(1)
+		g.Neighbours(v, model.Outgoing, func(r *model.Rel, nb model.NodeID) bool {
+			if !tagged[nb] && !math.IsInf(s.dist[nb], 1) {
+				queue = append(queue, nb)
+			}
+			return true
+		})
+	}
+	// Re-relax from the boundary of the tagged region.
+	for v := range tagged {
+		g.Neighbours(v, model.Incoming, func(_ *model.Rel, nb model.NodeID) bool {
+			if !tagged[nb] && !math.IsInf(s.dist[nb], 1) {
+				heap.Push(pq, pqItem{nb, s.dist[nb]})
+			}
+			return true
+		})
+	}
+	relaxHeap(g, s.prop, s.dist, pq)
+}
+
+// relaxHeap runs Dijkstra relaxation from whatever is queued. An entry is
+// only valid while it matches the node's current distance: tag-and-reset
+// may have *raised* a distance (to +Inf) after the entry was pushed, so the
+// classic "item.d > dist" staleness check is not enough here.
+func relaxHeap(g *memgraph.Graph, prop string, dist []float64, pq *pqueue) {
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		if item.d != dist[item.id] {
+			continue
+		}
+		g.Neighbours(item.id, model.Outgoing, func(r *model.Rel, nb model.NodeID) bool {
+			if nd := item.d + weight(r, prop); nd < dist[nb] {
+				dist[nb] = nd
+				heap.Push(pq, pqItem{nb, nd})
+			}
+			return true
+		})
+	}
+}
+
+type pqItem struct {
+	id model.NodeID
+	d  float64
+}
+
+type pqueue []pqItem
+
+func (h pqueue) Len() int            { return len(h) }
+func (h pqueue) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pqueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pqueue) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pqueue) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

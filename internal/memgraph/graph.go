@@ -1,0 +1,410 @@
+// Package memgraph implements Aion's compute-efficient in-memory dynamic
+// LPG representation (Sec 5.2). The design follows Sortledton: four vectors
+// — materialized nodes, materialized relationships, and per-node in- and
+// out-neighbourhood id-vectors — giving O(1) entity insertion/update and
+// neighbourhood access. Neighbourhood vectors store relationship IDs only;
+// endpoints are resolved with an O(1) lookup in the relationship vector
+// (one of the paper's memory optimizations). Snapshots support cheap
+// Copy-on-Write cloning à la Tegra.
+package memgraph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aion/internal/model"
+)
+
+// Per-entity in-memory byte constants used for Table 3 accounting ("for
+// Aion, we use around 60 B and 68 B for nodes and relationships, and 4 B
+// for each entry stored in the in- and out-neighbourhood vectors").
+const (
+	NodeBytes       = 60
+	RelBytes        = 68
+	NeighEntryBytes = 4
+)
+
+// Graph is a mutable LPG snapshot. It is not safe for concurrent mutation;
+// per the paper, parallel updates are key-partitioned at the execution
+// layer and reads precede writes for analytics.
+type Graph struct {
+	nodes []*model.Node
+	rels  []*model.Rel
+	out   [][]model.RelID
+	in    [][]model.RelID
+	// owned marks adjacency lists this graph may mutate in place; lists of
+	// a CoW clone are copied on first write.
+	owned []bool
+	// cow is 1 while the entity vectors are shared with a clone
+	// parent/child. Accessed atomically so concurrent readers may Clone
+	// the same snapshot; mutation (Apply) still requires external
+	// synchronization against both Clone and other Applies.
+	cow uint32
+
+	nodeCount int
+	relCount  int
+	ts        model.Timestamp // the time point this snapshot represents
+}
+
+// New returns an empty graph at timestamp 0.
+func New() *Graph { return &Graph{} }
+
+// Timestamp returns the time point the snapshot represents (the timestamp
+// of the last applied update).
+func (g *Graph) Timestamp() model.Timestamp { return g.ts }
+
+// SetTimestamp overrides the snapshot's time point (used when replaying a
+// diff up to a query timestamp with no update exactly at it).
+func (g *Graph) SetTimestamp(ts model.Timestamp) { g.ts = ts }
+
+// NodeCount returns the number of live nodes.
+func (g *Graph) NodeCount() int { return g.nodeCount }
+
+// RelCount returns the number of live relationships.
+func (g *Graph) RelCount() int { return g.relCount }
+
+// MaxNodeID returns the exclusive upper bound of the sparse node id domain.
+func (g *Graph) MaxNodeID() model.NodeID { return model.NodeID(len(g.nodes)) }
+
+// MaxRelID returns the exclusive upper bound of the sparse rel id domain.
+func (g *Graph) MaxRelID() model.RelID { return model.RelID(len(g.rels)) }
+
+// Node returns the node with the given id, or nil if absent.
+func (g *Graph) Node(id model.NodeID) *model.Node {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// Rel returns the relationship with the given id, or nil if absent.
+func (g *Graph) Rel(id model.RelID) *model.Rel {
+	if id < 0 || int(id) >= len(g.rels) {
+		return nil
+	}
+	return g.rels[id]
+}
+
+// Out returns the outgoing relationship ids of a node. The slice must not
+// be mutated.
+func (g *Graph) Out(id model.NodeID) []model.RelID {
+	if id < 0 || int(id) >= len(g.out) {
+		return nil
+	}
+	return g.out[id]
+}
+
+// In returns the incoming relationship ids of a node. The slice must not
+// be mutated.
+func (g *Graph) In(id model.NodeID) []model.RelID {
+	if id < 0 || int(id) >= len(g.in) {
+		return nil
+	}
+	return g.in[id]
+}
+
+// Degree returns the number of incident relationships in the direction.
+func (g *Graph) Degree(id model.NodeID, d model.Direction) int {
+	switch d {
+	case model.Outgoing:
+		return len(g.Out(id))
+	case model.Incoming:
+		return len(g.In(id))
+	}
+	return len(g.Out(id)) + len(g.In(id))
+}
+
+// Neighbours invokes fn for each (relationship, neighbour id) incident to
+// id in the given direction; it stops early if fn returns false.
+func (g *Graph) Neighbours(id model.NodeID, d model.Direction, fn func(r *model.Rel, nb model.NodeID) bool) {
+	if d == model.Outgoing || d == model.Both {
+		for _, rid := range g.Out(id) {
+			r := g.rels[rid]
+			if !fn(r, r.Tgt) {
+				return
+			}
+		}
+	}
+	if d == model.Incoming || d == model.Both {
+		for _, rid := range g.In(id) {
+			r := g.rels[rid]
+			if !fn(r, r.Src) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachNode invokes fn for every live node in id order; it stops early if
+// fn returns false.
+func (g *Graph) ForEachNode(fn func(n *model.Node) bool) {
+	for _, n := range g.nodes {
+		if n != nil && !fn(n) {
+			return
+		}
+	}
+}
+
+// ForEachRel invokes fn for every live relationship in id order; it stops
+// early if fn returns false.
+func (g *Graph) ForEachRel(fn func(r *model.Rel) bool) {
+	for _, r := range g.rels {
+		if r != nil && !fn(r) {
+			return
+		}
+	}
+}
+
+func (g *Graph) growNodes(id model.NodeID) {
+	// Vectors are resized according to the maximum node id seen (Sec 5.2).
+	if int(id) < len(g.nodes) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(g.nodes) {
+		n = 2 * len(g.nodes)
+	}
+	nodes := make([]*model.Node, n)
+	copy(nodes, g.nodes)
+	g.nodes = nodes
+	out := make([][]model.RelID, n)
+	copy(out, g.out)
+	g.out = out
+	in := make([][]model.RelID, n)
+	copy(in, g.in)
+	g.in = in
+	owned := make([]bool, n)
+	copy(owned, g.owned)
+	for i := len(g.owned); i < n; i++ {
+		owned[i] = true
+	}
+	g.owned = owned
+}
+
+func (g *Graph) growRels(id model.RelID) {
+	if int(id) < len(g.rels) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(g.rels) {
+		n = 2 * len(g.rels)
+	}
+	rels := make([]*model.Rel, n)
+	copy(rels, g.rels)
+	g.rels = rels
+}
+
+// ensureEntityVectorsOwned copies the top-level entity vectors if they are
+// shared with a CoW sibling; adjacency lists stay shared per-node until
+// individually written.
+func (g *Graph) ensureEntityVectorsOwned() {
+	if atomic.LoadUint32(&g.cow) == 0 {
+		return
+	}
+	g.nodes = append([]*model.Node(nil), g.nodes...)
+	g.rels = append([]*model.Rel(nil), g.rels...)
+	g.out = append([][]model.RelID(nil), g.out...)
+	g.in = append([][]model.RelID(nil), g.in...)
+	g.owned = make([]bool, len(g.nodes))
+	atomic.StoreUint32(&g.cow, 0)
+}
+
+// ownAdj makes node id's adjacency lists privately writable.
+func (g *Graph) ownAdj(id model.NodeID) {
+	if g.owned[id] {
+		return
+	}
+	g.out[id] = append([]model.RelID(nil), g.out[id]...)
+	g.in[id] = append([]model.RelID(nil), g.in[id]...)
+	g.owned[id] = true
+}
+
+// Clone returns a copy-on-write snapshot copy: O(1) until either side
+// mutates, at which point the mutating side copies what it touches
+// (Sec 5.2, "Aion uses Copy-on-Write similar to Tegra").
+func (g *Graph) Clone() *Graph {
+	atomic.StoreUint32(&g.cow, 1) // both sides must now copy before writing
+	c := *g
+	return &c
+}
+
+// Apply folds one graph update into the snapshot, enforcing the update
+// constraints of Sec 3.
+func (g *Graph) Apply(u model.Update) error {
+	g.ensureEntityVectorsOwned()
+	switch u.Kind {
+	case model.OpAddNode:
+		g.growNodes(u.NodeID)
+		if g.nodes[u.NodeID] != nil {
+			return fmt.Errorf("%w: node %d at ts %d", model.ErrExists, u.NodeID, u.TS)
+		}
+		n := &model.Node{ID: u.NodeID, Valid: model.Interval{Start: u.TS, End: model.TSInfinity}}
+		u.ApplyToNode(n)
+		g.nodes[u.NodeID] = n
+		g.ownAdj(u.NodeID)
+		g.out[u.NodeID] = g.out[u.NodeID][:0]
+		g.in[u.NodeID] = g.in[u.NodeID][:0]
+		g.nodeCount++
+
+	case model.OpDeleteNode:
+		n := g.Node(u.NodeID)
+		if n == nil {
+			return fmt.Errorf("%w: node %d at ts %d", model.ErrNotFound, u.NodeID, u.TS)
+		}
+		if len(g.out[u.NodeID]) > 0 || len(g.in[u.NodeID]) > 0 {
+			return fmt.Errorf("%w: node %d at ts %d", model.ErrHasRels, u.NodeID, u.TS)
+		}
+		g.nodes[u.NodeID] = nil
+		g.nodeCount--
+
+	case model.OpUpdateNode:
+		n := g.Node(u.NodeID)
+		if n == nil {
+			return fmt.Errorf("%w: node %d at ts %d", model.ErrNotFound, u.NodeID, u.TS)
+		}
+		c := n.Clone() // replace-on-write keeps CoW siblings intact
+		u.ApplyToNode(c)
+		g.nodes[u.NodeID] = c
+
+	case model.OpAddRel:
+		if g.Node(u.Src) == nil || g.Node(u.Tgt) == nil {
+			return fmt.Errorf("%w: rel %d (%d->%d) at ts %d", model.ErrDangling, u.RelID, u.Src, u.Tgt, u.TS)
+		}
+		g.growRels(u.RelID)
+		if g.rels[u.RelID] != nil {
+			return fmt.Errorf("%w: rel %d at ts %d", model.ErrExists, u.RelID, u.TS)
+		}
+		r := &model.Rel{ID: u.RelID, Src: u.Src, Tgt: u.Tgt, Label: u.RelLabel,
+			Valid: model.Interval{Start: u.TS, End: model.TSInfinity}}
+		u.ApplyToRel(r)
+		g.rels[u.RelID] = r
+		g.ownAdj(u.Src)
+		g.out[u.Src] = append(g.out[u.Src], u.RelID)
+		g.ownAdj(u.Tgt)
+		g.in[u.Tgt] = append(g.in[u.Tgt], u.RelID)
+		g.relCount++
+
+	case model.OpDeleteRel:
+		r := g.Rel(u.RelID)
+		if r == nil {
+			return fmt.Errorf("%w: rel %d at ts %d", model.ErrNotFound, u.RelID, u.TS)
+		}
+		g.rels[u.RelID] = nil
+		g.ownAdj(r.Src)
+		g.out[r.Src] = removeRelID(g.out[r.Src], u.RelID)
+		g.ownAdj(r.Tgt)
+		g.in[r.Tgt] = removeRelID(g.in[r.Tgt], u.RelID)
+		g.relCount--
+
+	case model.OpUpdateRel:
+		r := g.Rel(u.RelID)
+		if r == nil {
+			return fmt.Errorf("%w: rel %d at ts %d", model.ErrNotFound, u.RelID, u.TS)
+		}
+		c := r.Clone()
+		u.ApplyToRel(c)
+		g.rels[u.RelID] = c
+
+	default:
+		return fmt.Errorf("memgraph: unknown op %v", u.Kind)
+	}
+	if u.TS > g.ts {
+		g.ts = u.TS
+	}
+	return nil
+}
+
+// ApplyAll folds a batch of updates, stopping at the first error.
+func (g *Graph) ApplyAll(us []model.Update) error {
+	for _, u := range us {
+		if err := g.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func removeRelID(s []model.RelID, id model.RelID) []model.RelID {
+	for i, x := range s {
+		if x == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Export re-expresses the snapshot as a sequence of insertion updates (all
+// stamped with the snapshot timestamp), the form in which TimeStore
+// serializes snapshots to disk.
+func (g *Graph) Export() []model.Update {
+	us := make([]model.Update, 0, g.nodeCount+g.relCount)
+	for _, n := range g.nodes {
+		if n != nil {
+			us = append(us, model.AddNode(g.ts, n.ID, n.Labels, n.Props))
+		}
+	}
+	for _, r := range g.rels {
+		if r != nil {
+			u := model.AddRel(g.ts, r.ID, r.Src, r.Tgt, r.Label, r.Props)
+			us = append(us, u)
+		}
+	}
+	return us
+}
+
+// ApproxBytes estimates the snapshot's in-memory footprint using the
+// paper's Table 3 accounting constants plus property payloads.
+func (g *Graph) ApproxBytes() int64 {
+	var b int64
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		b += NodeBytes
+		for _, l := range n.Labels {
+			b += int64(len(l))
+		}
+		for k, v := range n.Props {
+			b += int64(len(k) + v.ApproxBytes())
+		}
+	}
+	for _, r := range g.rels {
+		if r == nil {
+			continue
+		}
+		b += RelBytes
+		for k, v := range r.Props {
+			b += int64(len(k) + v.ApproxBytes())
+		}
+	}
+	// One entry in the out-vector and one in the in-vector per rel.
+	b += 2 * NeighEntryBytes * int64(g.relCount)
+	return b
+}
+
+// DenseMap translates the sparse node id domain [0, Vs) — where only a
+// subset of ids refer to a valid node — to a dense domain [0, Vd) where all
+// ids are valid, enabling vector-based graph algorithms (Sec 5.2).
+type DenseMap struct {
+	ToDense  map[model.NodeID]int32
+	ToSparse []model.NodeID
+}
+
+// BuildDenseMap computes the sparse-to-dense node id translation.
+func (g *Graph) BuildDenseMap() *DenseMap {
+	dm := &DenseMap{
+		ToDense:  make(map[model.NodeID]int32, g.nodeCount),
+		ToSparse: make([]model.NodeID, 0, g.nodeCount),
+	}
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		dm.ToDense[n.ID] = int32(len(dm.ToSparse))
+		dm.ToSparse = append(dm.ToSparse, n.ID)
+	}
+	return dm
+}
+
+// Len returns the number of dense ids.
+func (dm *DenseMap) Len() int { return len(dm.ToSparse) }

@@ -1,0 +1,158 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// NodeID uniquely identifies a node.
+type NodeID int64
+
+// RelID uniquely identifies a relationship.
+type RelID int64
+
+// Timestamp is a system (transaction) or application (event) time point.
+// The time domain T is an ordered set of discrete positive integers (Sec 3).
+type Timestamp int64
+
+// TSInfinity is the open end time of a live entity: an insertion sets
+// τe(g) = ∞ until a later deletion closes the interval.
+const TSInfinity Timestamp = math.MaxInt64
+
+// Interval is a half-open validity interval [Start, End).
+type Interval struct {
+	Start Timestamp // inclusive
+	End   Timestamp // exclusive
+}
+
+// Contains reports whether t falls inside [Start, End).
+func (iv Interval) Contains(t Timestamp) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether two half-open intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Start < o.End && o.Start < iv.End }
+
+// Valid reports the model constraint τs < τe.
+func (iv Interval) Valid() bool { return iv.Start < iv.End }
+
+// Direction selects which incident relationships of a node to traverse.
+type Direction uint8
+
+const (
+	// Outgoing selects relationships whose source is the node.
+	Outgoing Direction = iota
+	// Incoming selects relationships whose target is the node.
+	Incoming
+	// Both selects relationships in either direction.
+	Both
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case Outgoing:
+		return "OUTGOING"
+	case Incoming:
+		return "INCOMING"
+	case Both:
+		return "BOTH"
+	}
+	return "?"
+}
+
+// Reverse flips Outgoing and Incoming; Both is its own reverse.
+func (d Direction) Reverse() Direction {
+	switch d {
+	case Outgoing:
+		return Incoming
+	case Incoming:
+		return Outgoing
+	}
+	return Both
+}
+
+// Application-time property keys used by the bitemporal model (Sec 3). The
+// user manages correctness of these properties; Aion only filters by them.
+const (
+	// AppStartKey holds the application (event) start time.
+	AppStartKey = "__app_start"
+	// AppEndKey holds the application (event) end time.
+	AppEndKey = "__app_end"
+)
+
+// Node is a (temporal) LPG node: v = (τs, τe, nid, l, p). For a non-temporal
+// snapshot view Valid is the full interval [0, ∞).
+type Node struct {
+	ID     NodeID
+	Labels []string
+	Props  Properties
+	Valid  Interval
+}
+
+// Clone returns an independent copy of the node.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.Labels = append([]string(nil), n.Labels...)
+	c.Props = n.Props.Clone()
+	return &c
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(l string) bool {
+	for _, x := range n.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// SortLabels orders labels lexicographically, normalizing the set for
+// comparison and encoding.
+func (n *Node) SortLabels() { sort.Strings(n.Labels) }
+
+// AppInterval extracts the application-time interval from the node's
+// bitemporal properties, defaulting to [0, ∞) when unset (the system falls
+// back to system time per Sec 4.5).
+func (n *Node) AppInterval() Interval { return appInterval(n.Props) }
+
+// Rel is a (temporal) LPG relationship: e = (τs, τe, rid, src, tgt, l, p).
+// Relationships are directed from Src to Tgt and carry a single (or empty)
+// label.
+type Rel struct {
+	ID    RelID
+	Src   NodeID
+	Tgt   NodeID
+	Label string
+	Props Properties
+	Valid Interval
+}
+
+// Clone returns an independent copy of the relationship.
+func (r *Rel) Clone() *Rel {
+	c := *r
+	c.Props = r.Props.Clone()
+	return &c
+}
+
+// Other returns the endpoint opposite to id (for undirected traversal).
+func (r *Rel) Other(id NodeID) NodeID {
+	if r.Src == id {
+		return r.Tgt
+	}
+	return r.Src
+}
+
+// AppInterval extracts the application-time interval from the relationship's
+// bitemporal properties, defaulting to [0, ∞) when unset.
+func (r *Rel) AppInterval() Interval { return appInterval(r.Props) }
+
+func appInterval(p Properties) Interval {
+	iv := Interval{Start: 0, End: TSInfinity}
+	if v, ok := p[AppStartKey]; ok && v.Kind() == KindInt {
+		iv.Start = Timestamp(v.Int())
+	}
+	if v, ok := p[AppEndKey]; ok && v.Kind() == KindInt {
+		iv.End = Timestamp(v.Int())
+	}
+	return iv
+}

@@ -1,0 +1,137 @@
+// Package pool implements the statically allocated object pools of Sec 5.3:
+// production DBMS layers multiply allocation and GC penalties, so Aion
+// minimizes memory allocation on the critical path with reusable byte
+// buffers, per-worker scratch pools, and pre-allocated ring buffers in
+// place of queues.
+package pool
+
+import "sync"
+
+// Bytes is a pool of byte slices for encode/decode scratch on the critical
+// path (disk operations, record encoding).
+type Bytes struct {
+	p sync.Pool
+}
+
+// NewBytes creates a pool handing out slices with the given initial
+// capacity.
+func NewBytes(capacity int) *Bytes {
+	b := &Bytes{}
+	b.p.New = func() interface{} {
+		s := make([]byte, 0, capacity)
+		return &s
+	}
+	return b
+}
+
+// Get returns an empty slice (possibly with recycled capacity).
+func (b *Bytes) Get() *[]byte {
+	s := b.p.Get().(*[]byte)
+	*s = (*s)[:0]
+	return s
+}
+
+// Put recycles the slice.
+func (b *Bytes) Put(s *[]byte) { b.p.Put(s) }
+
+// Ring is a fixed-capacity circular buffer of pre-allocated int64 slots,
+// replacing allocation-heavy queue types in traversal hot loops (Sec 5.3:
+// "queues are replaced with circular buffers of pre-allocated objects").
+// The zero Ring is not usable; construct with NewRing. Not safe for
+// concurrent use — each worker thread keeps its own (per-worker pools
+// avoid contention).
+type Ring struct {
+	buf        []int64
+	head, tail int
+	size       int
+}
+
+// NewRing creates a ring with the given capacity (rounded up to 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]int64, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (r *Ring) Len() int { return r.size }
+
+// Push enqueues v, growing the ring if full (growth is rare once the ring
+// is warm; the buffer is retained across uses).
+func (r *Ring) Push(v int64) {
+	if r.size == len(r.buf) {
+		grown := make([]int64, 2*len(r.buf))
+		n := copy(grown, r.buf[r.head:])
+		copy(grown[n:], r.buf[:r.tail])
+		r.buf = grown
+		r.head, r.tail = 0, r.size
+	}
+	r.buf[r.tail] = v
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.size++
+}
+
+// Pop dequeues the oldest element; ok is false when empty.
+func (r *Ring) Pop() (v int64, ok bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	v = r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// Reset empties the ring, keeping its capacity.
+func (r *Ring) Reset() { r.head, r.tail, r.size = 0, 0, 0 }
+
+// Bitmap is a compact dense bitset used for visited/tagged marks during
+// graph algorithms (the roaring-bitmap role of Sec 5.3 for our dense id
+// domains). It is reusable across runs via Reset.
+type Bitmap struct {
+	words []uint64
+}
+
+// NewBitmap creates a bitmap able to hold n bits.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+// Grow ensures capacity for n bits.
+func (b *Bitmap) Grow(n int) {
+	need := (n + 63) / 64
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Set marks bit i (growing as needed).
+func (b *Bitmap) Set(i int) {
+	b.Grow(i + 1)
+	b.words[i/64] |= 1 << (i % 64)
+}
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool {
+	w := i / 64
+	return w < len(b.words) && b.words[w]&(1<<(i%64)) != 0
+}
+
+// Reset clears all bits, keeping capacity.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesReuse(t *testing.T) {
+	p := NewBytes(64)
+	s := p.Get()
+	*s = append(*s, []byte("hello")...)
+	p.Put(s)
+	s2 := p.Get()
+	if len(*s2) != 0 {
+		t.Error("recycled slice must be empty")
+	}
+	if cap(*s2) < 5 {
+		t.Error("capacity should be retained")
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(4)
+	for i := int64(0); i < 10; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d %v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty pop must fail")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	// Interleave pushes and pops to force wrap-around.
+	for round := 0; round < 50; round++ {
+		r.Push(int64(round * 2))
+		r.Push(int64(round*2 + 1))
+		if v, _ := r.Pop(); v != int64(round*2) {
+			t.Fatalf("round %d: wrong order", round)
+		}
+		if v, _ := r.Pop(); v != int64(round*2+1) {
+			t.Fatalf("round %d: wrong order", round)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset")
+	}
+}
+
+func TestRingMatchesSliceQueue(t *testing.T) {
+	// Property: the ring behaves exactly like a slice-based FIFO under a
+	// random operation sequence.
+	rng := rand.New(rand.NewSource(2))
+	r := NewRing(2)
+	var ref []int64
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 || len(ref) == 0 {
+			v := rng.Int63()
+			r.Push(v)
+			ref = append(ref, v)
+		} else {
+			v, ok := r.Pop()
+			if !ok || v != ref[0] {
+				t.Fatalf("step %d: pop %d %v, want %d", step, v, ok, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("len mismatch: %d vs %d", r.Len(), len(ref))
+		}
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(10)
+	b.Set(3)
+	b.Set(64)
+	b.Set(200) // auto-grow
+	if !b.Get(3) || !b.Get(64) || !b.Get(200) {
+		t.Error("set bits missing")
+	}
+	if b.Get(4) || b.Get(1000) {
+		t.Error("unset bits present")
+	}
+	if b.Count() != 3 {
+		t.Errorf("count = %d", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Get(3) {
+		t.Error("reset")
+	}
+}
+
+func TestBitmapMatchesMap(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitmap(8)
+		ref := map[int]bool{}
+		for _, i := range idxs {
+			b.Set(int(i))
+			ref[int(i)] = true
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

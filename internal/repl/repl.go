@@ -1,0 +1,125 @@
+// Package repl implements the interactive temporal-Cypher loop behind
+// cmd/aion-shell: it reads statements line by line, executes them against
+// either an embedded engine or a remote Bolt session, and renders result
+// tables and write summaries.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+)
+
+// Executor runs one statement and returns columns, rows, and the write
+// summary (any field may be zero for read-only statements).
+type Executor interface {
+	Execute(query string) (cols []string, rows [][]cypher.Val, sum *bolt.Summary, err error)
+}
+
+// EmbeddedExecutor runs statements on an in-process engine.
+type EmbeddedExecutor struct{ Engine *cypher.Engine }
+
+// Execute implements Executor.
+func (e EmbeddedExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Summary, error) {
+	res, err := e.Engine.Query(q, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sum := &bolt.Summary{
+		NodesCreated: res.NodesCreated, RelsCreated: res.RelsCreated,
+		PropsSet: res.PropsSet, NodesDeleted: res.NodesDeleted,
+		RelsDeleted: res.RelsDeleted, CommitTS: res.CommitTS,
+	}
+	return res.Columns, res.Rows, sum, nil
+}
+
+// RemoteExecutor runs statements over a Bolt client.
+type RemoteExecutor struct{ Client *bolt.Client }
+
+// Execute implements Executor.
+func (e RemoteExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Summary, error) {
+	return e.Client.Run(q, nil)
+}
+
+// Run drives the loop: one statement per line, `:quit` / `:q` / `exit` to
+// stop, lines starting with `//` skipped. It returns on EOF.
+func Run(in io.Reader, out io.Writer, exec Executor) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			continue
+		case line == ":quit" || line == ":q" || line == "exit":
+			return nil
+		case line == ":help":
+			printHelp(out)
+			continue
+		}
+		cols, rows, sum, err := exec.Execute(line)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		RenderResult(out, cols, rows, sum)
+	}
+}
+
+// RenderResult prints a result table and, if present, the write summary.
+func RenderResult(out io.Writer, cols []string, rows [][]cypher.Val, sum *bolt.Summary) {
+	if len(cols) > 0 {
+		fmt.Fprintln(out, strings.Join(cols, " | "))
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(rows))
+	if sum != nil && sum.NodesCreated+sum.RelsCreated+sum.PropsSet+sum.NodesDeleted+sum.RelsDeleted > 0 {
+		fmt.Fprintf(out, "-- created %d nodes, %d rels; set %d props; deleted %d nodes, %d rels (commit ts %d)\n",
+			sum.NodesCreated, sum.RelsCreated, sum.PropsSet,
+			sum.NodesDeleted, sum.RelsDeleted, sum.CommitTS)
+	}
+}
+
+func printHelp(out io.Writer) {
+	fmt.Fprint(out, `statements:
+  CREATE (n:Label {k: v})-[:TYPE]->(m)         create entities
+  MATCH (n) WHERE ... RETURN ... [LIMIT n]     query the latest graph
+  USE GDB FOR SYSTEM_TIME AS OF t MATCH ...    time travel
+  USE GDB FOR SYSTEM_TIME BETWEEN a AND b ...  entity history
+  CALL aion.diff(a, b)                         update stream
+  CALL aion.gds.pagerank(ts, k)                analytics
+commands: :help  :quit
+`)
+}
+
+// Script runs a sequence of statements (e.g. a file) non-interactively,
+// stopping at the first error.
+func Script(statements []string, out io.Writer, exec Executor) error {
+	for _, q := range statements {
+		q = strings.TrimSpace(q)
+		if q == "" || strings.HasPrefix(q, "//") {
+			continue
+		}
+		cols, rows, sum, err := exec.Execute(q)
+		if err != nil {
+			return fmt.Errorf("%q: %w", q, err)
+		}
+		RenderResult(out, cols, rows, sum)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package repl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/system"
+)
+
+func embedded(t *testing.T) EmbeddedExecutor {
+	t.Helper()
+	sys, err := system.Open(system.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return EmbeddedExecutor{Engine: cypher.NewEngine(sys)}
+}
+
+func TestRunSessionEmbedded(t *testing.T) {
+	exec := embedded(t)
+	in := strings.NewReader(strings.Join([]string{
+		`CREATE (a:P {name: 'x'})-[:R]->(b:P {name: 'y'})`,
+		`// a comment line`,
+		``,
+		`MATCH (n:P) RETURN n.name ORDER BY n.name`,
+		`THIS IS NOT CYPHER`,
+		`MATCH (n:P) RETURN count(*) AS c`,
+		`:quit`,
+	}, "\n"))
+	var out bytes.Buffer
+	if err := Run(in, &out, exec); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"-- created 2 nodes, 1 rels",
+		`"x"`,
+		`"y"`,
+		"(2 rows)",
+		"error:",
+		"c\n2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunHelpAndEOF(t *testing.T) {
+	exec := embedded(t)
+	var out bytes.Buffer
+	// EOF (no :quit) must end the loop cleanly.
+	if err := Run(strings.NewReader(":help\n"), &out, exec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SYSTEM_TIME") {
+		t.Error("help text missing")
+	}
+}
+
+func TestScriptMode(t *testing.T) {
+	exec := embedded(t)
+	var out bytes.Buffer
+	err := Script([]string{
+		`CREATE (n:S {v: 1})`,
+		`MATCH (n:S) RETURN n.v`,
+	}, &out, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1") {
+		t.Errorf("script output: %s", out.String())
+	}
+	// Errors stop the script with context.
+	err = Script([]string{`NONSENSE`}, &out, exec)
+	if err == nil || !strings.Contains(err.Error(), "NONSENSE") {
+		t.Errorf("script error: %v", err)
+	}
+}
+
+func TestRemoteExecutor(t *testing.T) {
+	sys, err := system.Open(system.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := bolt.NewServer(cypher.NewEngine(sys))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := bolt.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	var out bytes.Buffer
+	exec := RemoteExecutor{Client: client}
+	in := strings.NewReader("CREATE (n:R)\nMATCH (n:R) RETURN count(*)\n:q\n")
+	if err := Run(in, &out, exec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- created 1 nodes") {
+		t.Errorf("remote session output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,171 @@
+// Package strstore implements the string store of Sec 4.2: instead of
+// storing label and property-key strings inline in disk records, records
+// hold a 4-byte reference into an append-only interned string table,
+// substantially lowering record sizes for repeated strings.
+package strstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Ref is a 4-byte reference to an interned string. Per the paper the most
+// significant bits of a reference are reserved for state flags by callers
+// (e.g. label present/deleted, property type tags), so the store itself only
+// hands out refs that fit in the low 28 bits.
+type Ref uint32
+
+// MaxRef bounds the id space, leaving the top bits free for caller flags.
+const MaxRef = 1<<28 - 1
+
+// Store is an append-only interned string table. It is safe for concurrent
+// use. When constructed with a backing file, every new string is appended
+// durably (length-prefixed) so the table can be reloaded.
+type Store struct {
+	mu   sync.RWMutex
+	byID []string
+	ids  map[string]Ref
+	w    *bufio.Writer
+	f    *os.File
+}
+
+// NewMem creates an in-memory store with no persistence.
+func NewMem() *Store {
+	return &Store{ids: make(map[string]Ref)}
+}
+
+// Open creates or reloads a persistent store backed by the given file.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("strstore: open: %w", err)
+	}
+	s := &Store{ids: make(map[string]Ref), f: f}
+	r := bufio.NewReader(f)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("strstore: reload: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("strstore: reload body: %w", err)
+		}
+		str := string(b)
+		s.ids[str] = Ref(len(s.byID))
+		s.byID = append(s.byID, str)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// Intern returns the reference for s, assigning and persisting a new one if
+// the string has not been seen before.
+func (st *Store) Intern(s string) (Ref, error) {
+	st.mu.RLock()
+	if id, ok := st.ids[s]; ok {
+		st.mu.RUnlock()
+		return id, nil
+	}
+	st.mu.RUnlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok := st.ids[s]; ok {
+		return id, nil
+	}
+	if len(st.byID) >= MaxRef {
+		return 0, fmt.Errorf("strstore: table full (%d strings)", len(st.byID))
+	}
+	id := Ref(len(st.byID))
+	if st.w != nil {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+		if _, err := st.w.Write(lenBuf[:]); err != nil {
+			return 0, fmt.Errorf("strstore: append: %w", err)
+		}
+		if _, err := st.w.WriteString(s); err != nil {
+			return 0, fmt.Errorf("strstore: append: %w", err)
+		}
+	}
+	st.ids[s] = id
+	st.byID = append(st.byID, s)
+	return id, nil
+}
+
+// MustIntern is Intern for in-memory stores where appends cannot fail; it
+// panics on error.
+func (st *Store) MustIntern(s string) Ref {
+	r, err := st.Intern(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup resolves a reference back to its string.
+func (st *Store) Lookup(r Ref) (string, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if int(r) >= len(st.byID) {
+		return "", fmt.Errorf("strstore: dangling ref %d (table size %d)", r, len(st.byID))
+	}
+	return st.byID[r], nil
+}
+
+// Len returns the number of interned strings.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.byID)
+}
+
+// Flush writes buffered appends to the backing file.
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.w == nil {
+		return nil
+	}
+	return st.w.Flush()
+}
+
+// Close flushes and closes the backing file, if any.
+func (st *Store) Close() error {
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.f.Close()
+	st.f, st.w = nil, nil
+	return err
+}
+
+// DiskBytes reports the current byte size of the backing file (0 for
+// in-memory stores); used by the Fig 10 storage accounting.
+func (st *Store) DiskBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var n int64
+	for _, s := range st.byID {
+		n += 4 + int64(len(s))
+	}
+	if st.f == nil {
+		return 0
+	}
+	return n
+}

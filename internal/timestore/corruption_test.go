@@ -1,0 +1,73 @@
+package timestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aion/internal/enc"
+	"aion/internal/strstore"
+)
+
+// TestCorruptedSnapshotSurfacesError flips bytes in an on-disk snapshot
+// file; a later GetGraph that needs it must return an error, not wrong data
+// or a panic.
+func TestCorruptedSnapshotSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(enc.NewCodec(strstore.NewMem()), Options{
+		Dir:              dir,
+		SnapshotEveryOps: 5,
+		GraphStoreBytes:  1, // force disk reads
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendBatch(chainUpdates(10)); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitSnapshots()
+	// Corrupt every snapshot file.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots written")
+	}
+	for _, path := range snaps {
+		b, _ := os.ReadFile(path)
+		if len(b) > 10 {
+			b[len(b)/2] ^= 0xFF
+			os.WriteFile(path, b, 0o644)
+		}
+	}
+	// A query below the cached (newest) snapshot must load an older one
+	// from disk and see the corruption.
+	if _, err := s.GetGraph(6); err == nil {
+		t.Error("corrupted snapshot must surface an error")
+	}
+}
+
+// TestTruncatedSnapshotSurfacesError truncates a snapshot file mid-record.
+func TestTruncatedSnapshotSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(enc.NewCodec(strstore.NewMem()), Options{
+		Dir:              dir,
+		SnapshotEveryOps: 5,
+		GraphStoreBytes:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendBatch(chainUpdates(10)); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitSnapshots()
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	for _, path := range snaps {
+		b, _ := os.ReadFile(path)
+		os.WriteFile(path, b[:len(b)-3], 0o644)
+	}
+	if _, err := s.GetGraph(6); err == nil {
+		t.Error("truncated snapshot must surface an error")
+	}
+}

@@ -1,0 +1,276 @@
+package timestore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aion/internal/enc"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+)
+
+// GetDiff returns all graph updates with start <= ts < end in commit order
+// (Table 1). It locates the first log offset through the time index and
+// then performs one sequential range scan over the log.
+func (s *Store) GetDiff(start, end model.Timestamp) ([]model.Update, error) {
+	var out []model.Update
+	err := s.ScanDiff(start, end, func(u model.Update) bool {
+		out = append(out, u)
+		return true
+	})
+	return out, err
+}
+
+// ScanDiff streams the updates with start <= ts < end to fn in commit
+// order, stopping early if fn returns false.
+func (s *Store) ScanDiff(start, end model.Timestamp, fn func(u model.Update) bool) error {
+	if start >= end {
+		return nil
+	}
+	// Find the log offset of the first update at or after start.
+	var off int64 = -1
+	err := s.timeIdx.Scan(enc.KeyTSPrefix(start), nil, func(k, v []byte) bool {
+		off = int64(enc.ParseU64Value(v))
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return nil // no updates at or after start
+	}
+	var derr error
+	_, err = s.log.Scan(off, func(_ int64, payload []byte) bool {
+		u, e := s.codec.DecodeUpdate(payload)
+		if e != nil {
+			derr = e
+			return false
+		}
+		if u.TS >= end {
+			return false
+		}
+		return fn(u)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// GetGraph materializes the LPG snapshot valid at ts: fetch the snapshot
+// with the closest timestamp <= ts (from the GraphStore or disk) and apply
+// the forward changes from the log (Sec 4.3). The returned graph is private
+// to the caller.
+func (s *Store) GetGraph(ts model.Timestamp) (*memgraph.Graph, error) {
+	g, snapTS, err := s.baseSnapshot(ts)
+	if err != nil {
+		return nil, err
+	}
+	err = s.ScanDiff(snapTS+1, ts+1, func(u model.Update) bool {
+		if aerr := g.Apply(u); aerr != nil {
+			err = fmt.Errorf("timestore: replay: %w", aerr)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.SetTimestamp(ts)
+	return g, nil
+}
+
+// baseSnapshot returns a mutable graph at the closest snapshot time <= ts:
+// first the in-memory GraphStore, then disk, then the empty graph at -1.
+func (s *Store) baseSnapshot(ts model.Timestamp) (*memgraph.Graph, model.Timestamp, error) {
+	if g, snapTS, ok := s.gs.Floor(ts); ok {
+		return g, snapTS, nil
+	}
+	k, v, ok, err := s.snapIdx.SeekFloor(enc.KeyTSPrefix(ts))
+	if err != nil {
+		return nil, 0, err
+	}
+	if ok {
+		snapTS := model.Timestamp(binary.BigEndian.Uint64(k)) // 8-byte ts prefix
+		g, err := s.loadSnapshotFile(string(v), snapTS)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.gs.Put(g) // warm the cache for subsequent queries
+		return g.Clone(), snapTS, nil
+	}
+	return memgraph.New(), -1, nil
+}
+
+// GetGraphs returns a series of snapshots at start, start+step, ..., built
+// incrementally with one snapshot fetch and a single log range scan
+// (Table 1: "getGraph(1993, 2023, 1-year) returns thirty snapshots").
+// The series covers timestamps start <= ts <= end.
+func (s *Store) GetGraphs(start, end model.Timestamp, step model.Timestamp) ([]*memgraph.Graph, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timestore: step must be positive")
+	}
+	if end < start {
+		return nil, fmt.Errorf("timestore: end %d before start %d", end, start)
+	}
+	g, snapTS, err := s.baseSnapshot(start)
+	if err != nil {
+		return nil, err
+	}
+	var out []*memgraph.Graph
+	next := start
+	emitThrough := func(upTo model.Timestamp) {
+		for next <= upTo && next <= end {
+			g.SetTimestamp(next)
+			out = append(out, g.Clone())
+			next += step
+		}
+	}
+	err = s.ScanDiff(snapTS+1, end+1, func(u model.Update) bool {
+		emitThrough(u.TS - 1) // snapshots strictly before this update's time
+		if aerr := g.Apply(u); aerr != nil {
+			err = fmt.Errorf("timestore: replay: %w", aerr)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	emitThrough(end)
+	return out, nil
+}
+
+// ScanGraphs is the lazy variant of GetGraphs (footnote 4: "snapshots can
+// be computed eagerly or lazily depending on the application"): each
+// snapshot is handed to fn as it materializes and may be retained only by
+// cloning; iteration stops early when fn returns false.
+func (s *Store) ScanGraphs(start, end, step model.Timestamp, fn func(g *memgraph.Graph) bool) error {
+	if step <= 0 {
+		return fmt.Errorf("timestore: step must be positive")
+	}
+	if end < start {
+		return fmt.Errorf("timestore: end %d before start %d", end, start)
+	}
+	g, snapTS, err := s.baseSnapshot(start)
+	if err != nil {
+		return err
+	}
+	next := start
+	stopped := false
+	emitThrough := func(upTo model.Timestamp) bool {
+		for next <= upTo && next <= end {
+			g.SetTimestamp(next)
+			if !fn(g) {
+				return false
+			}
+			next += step
+		}
+		return true
+	}
+	err = s.ScanDiff(snapTS+1, end+1, func(u model.Update) bool {
+		if !emitThrough(u.TS - 1) {
+			stopped = true
+			return false
+		}
+		if aerr := g.Apply(u); aerr != nil {
+			err = fmt.Errorf("timestore: replay: %w", aerr)
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	emitThrough(end)
+	return nil
+}
+
+// GetTemporalGraph builds the temporal LPG over [start, end): the state at
+// start seeds the initial versions, and every update in the interval
+// appends to the version chains (Table 1).
+func (s *Store) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, error) {
+	base, err := s.GetGraph(start)
+	if err != nil {
+		return nil, err
+	}
+	tg := memgraph.NewTGraph(model.Interval{Start: start, End: end})
+	// Seed versions keep their original start times (as far as the base
+	// snapshot preserved them), so consumers can tell carried-over
+	// entities from ones created inside the interval.
+	var aerr error
+	base.ForEachNode(func(n *model.Node) bool {
+		aerr = tg.Apply(model.AddNode(n.Valid.Start, n.ID, n.Labels, n.Props))
+		return aerr == nil
+	})
+	if aerr != nil {
+		return nil, aerr
+	}
+	base.ForEachRel(func(r *model.Rel) bool {
+		aerr = tg.Apply(model.AddRel(r.Valid.Start, r.ID, r.Src, r.Tgt, r.Label, r.Props))
+		return aerr == nil
+	})
+	if aerr != nil {
+		return nil, aerr
+	}
+	err = s.ScanDiff(start+1, end, func(u model.Update) bool {
+		if e := tg.Apply(u); e != nil {
+			aerr = e
+			return false
+		}
+		return true
+	})
+	if aerr != nil {
+		return nil, aerr
+	}
+	return tg, err
+}
+
+// GetWindow filters the graph history by a time window (Table 1): a
+// consistent graph containing every entity present at some point within
+// [start, end), including connections of the present nodes that were valid
+// at start even if untouched inside the window. Entities take their last
+// state within the window.
+func (s *Store) GetWindow(start, end model.Timestamp) (*memgraph.Graph, error) {
+	tg, err := s.GetTemporalGraph(start, end)
+	if err != nil {
+		return nil, err
+	}
+	return WindowFromTemporal(tg, start, end), nil
+}
+
+// WindowFromTemporal projects a temporal graph onto its window union graph
+// (shared with the aion package's planner-driven path).
+func WindowFromTemporal(tg *memgraph.TGraph, start, end model.Timestamp) *memgraph.Graph {
+	win := model.Interval{Start: start, End: end}
+	g := memgraph.New()
+	// Last version of each node present in the window.
+	lastNode := map[model.NodeID]*model.Node{}
+	tg.ForEachNodeVersion(func(n *model.Node) bool {
+		if n.Valid.Overlaps(win) {
+			lastNode[n.ID] = n
+		}
+		return true
+	})
+	for _, n := range lastNode {
+		// Preserve the version's true start time so window consumers can
+		// distinguish carried-over entities from ones created inside.
+		_ = g.Apply(model.AddNode(n.Valid.Start, n.ID, n.Labels, n.Props))
+	}
+	// Relationships present in the window whose endpoints survive.
+	lastRel := map[model.RelID]*model.Rel{}
+	tg.ForEachRelVersion(func(r *model.Rel) bool {
+		if r.Valid.Overlaps(win) {
+			lastRel[r.ID] = r
+		}
+		return true
+	})
+	for _, r := range lastRel {
+		if lastNode[r.Src] == nil || lastNode[r.Tgt] == nil {
+			continue
+		}
+		_ = g.Apply(model.AddRel(r.Valid.Start, r.ID, r.Src, r.Tgt, r.Label, r.Props))
+	}
+	g.SetTimestamp(end - 1)
+	return g
+}

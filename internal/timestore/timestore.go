@@ -1,0 +1,474 @@
+// Package timestore implements TimeStore (Sec 4.3), Aion's snapshot-based
+// temporal store: a single append-only log of all graph changes ordered by
+// commit timestamp, a B+Tree indexing the log by time, eagerly created full
+// snapshots governed by a user-defined policy (operation- or time-based),
+// and the in-memory GraphStore LRU cache to avoid snapshot I/O. Retrieving
+// a graph at an arbitrary timestamp fetches the closest snapshot and
+// replays the forward changes from the log.
+package timestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"aion/internal/btree"
+	"aion/internal/enc"
+	"aion/internal/graphstore"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+	"aion/internal/pagecache"
+	"aion/internal/wal"
+)
+
+// Options configures a TimeStore.
+type Options struct {
+	// Dir is the directory for the log, index, and snapshot files. It must
+	// exist.
+	Dir string
+	// SnapshotEveryOps triggers a snapshot after this many updates
+	// (operation-based policy, the paper's default). <= 0 disables.
+	SnapshotEveryOps int
+	// SnapshotEveryTime triggers a snapshot when this much logical time has
+	// passed since the previous snapshot (time-based policy). <= 0 disables.
+	SnapshotEveryTime model.Timestamp
+	// IndexCachePages is the page-cache budget for the time index B+Tree.
+	IndexCachePages int
+	// GraphStoreBytes is the byte budget of the in-memory snapshot cache.
+	GraphStoreBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.SnapshotEveryOps == 0 && o.SnapshotEveryTime == 0 {
+		o.SnapshotEveryOps = 10000
+	}
+	if o.IndexCachePages <= 0 {
+		o.IndexCachePages = 1024
+	}
+	if o.GraphStoreBytes <= 0 {
+		o.GraphStoreBytes = 256 << 20
+	}
+}
+
+// Store is a TimeStore instance. Appends are serialized by the caller's
+// transaction order (timestamps must be non-decreasing); reads may run
+// concurrently.
+type Store struct {
+	mu    sync.Mutex
+	opts  Options
+	codec *enc.Codec
+	log   *wal.Log
+	// timeIdx maps KeyTS(ts, seq) -> log offset.
+	timeIdx *btree.Tree
+	// snapIdx maps KeyTSPrefix(ts) -> snapshot file path.
+	snapIdx *btree.Tree
+	gs      *graphstore.Store
+
+	lastTS        model.Timestamp
+	seq           uint32
+	opsSinceSnap  int
+	lastSnapTS    model.Timestamp
+	updateCount   uint64
+	snapshotCount atomic.Int64
+	encBuf        []byte // append-path scratch, guarded by mu (Sec 5.3)
+
+	// Asynchronous snapshot pipeline: policy-triggered snapshots are
+	// serialized off the commit path by a background worker (Sec 5.1:
+	// "background workers ... insert new snapshots into the GraphStore").
+	snapCh     chan *memgraph.Graph
+	snapWG     sync.WaitGroup
+	workerDone chan struct{}
+}
+
+// Open creates or reopens a TimeStore in opts.Dir using the shared codec.
+// Reopening rebuilds the in-memory latest graph from the newest snapshot
+// plus the log tail (the paper's recovery path: replay the transaction log
+// from the last persisted state).
+func Open(codec *enc.Codec, opts Options) (*Store, error) {
+	opts.defaults()
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "aion-timestore-*")
+		if err != nil {
+			return nil, err
+		}
+		opts.Dir = dir
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, "updates.log"))
+	if err != nil {
+		return nil, err
+	}
+	idxCache, err := pagecache.Open(filepath.Join(opts.Dir, "time.idx"), opts.IndexCachePages)
+	if err != nil {
+		return nil, err
+	}
+	timeIdx, err := btree.Open(idxCache)
+	if err != nil {
+		return nil, err
+	}
+	snapCache, err := pagecache.Open(filepath.Join(opts.Dir, "snap.idx"), 64)
+	if err != nil {
+		return nil, err
+	}
+	snapIdx, err := btree.Open(snapCache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:       opts,
+		codec:      codec,
+		log:        log,
+		timeIdx:    timeIdx,
+		snapIdx:    snapIdx,
+		gs:         graphstore.New(opts.GraphStoreBytes),
+		snapCh:     make(chan *memgraph.Graph, 2),
+		workerDone: make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, fmt.Errorf("timestore: recover: %w", err)
+	}
+	go s.snapshotWorker()
+	return s, nil
+}
+
+// snapshotWorker serializes policy-triggered snapshots in the background.
+func (s *Store) snapshotWorker() {
+	defer close(s.workerDone)
+	for g := range s.snapCh {
+		s.persistSnapshot(g)
+		s.snapWG.Done()
+	}
+}
+
+// persistSnapshot writes a snapshot to disk and registers it. It must not
+// take s.mu: a bulk AppendBatch holds that lock for its whole batch, and
+// snapshots must keep landing concurrently (the index and the GraphStore
+// have their own locks; the counter is atomic).
+func (s *Store) persistSnapshot(g *memgraph.Graph) {
+	ts := g.Timestamp()
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("snap-%016x.snap", uint64(ts)))
+	if err := s.writeSnapshotFile(path, g); err != nil {
+		return // snapshot loss is tolerable; the log still covers the range
+	}
+	if err := s.snapIdx.Put(enc.KeyTSPrefix(ts), []byte(path)); err != nil {
+		return
+	}
+	s.gs.Put(g)
+	s.snapshotCount.Add(1)
+}
+
+// recover rebuilds the latest in-memory graph: load the newest snapshot (if
+// any) and replay the log tail past it.
+func (s *Store) recover() (err error) {
+	var snapTS model.Timestamp = -1
+	var snapPath string
+	// Find the newest snapshot.
+	err = s.snapIdx.Scan(nil, nil, func(k, v []byte) bool {
+		snapTS = model.Timestamp(binary.BigEndian.Uint64(k))
+		snapPath = string(v)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	latest := memgraph.New()
+	if snapPath != "" {
+		latest, err = s.loadSnapshotFile(snapPath, snapTS)
+		if err != nil {
+			return err
+		}
+		s.lastSnapTS = snapTS
+	}
+	// Replay log records after the snapshot timestamp. Index entries are
+	// re-put idempotently, which also repairs a time index that was not
+	// flushed before a crash.
+	_, err = s.log.Scan(0, func(off int64, payload []byte) bool {
+		u, derr := s.codec.DecodeUpdate(payload)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		s.updateCount++
+		if u.TS == s.lastTS && s.updateCount > 1 {
+			s.seq++
+		} else {
+			s.lastTS, s.seq = u.TS, 0
+		}
+		if perr := s.timeIdx.Put(enc.KeyTS(u.TS, s.seq), enc.U64Value(uint64(off))); perr != nil {
+			err = perr
+			return false
+		}
+		if u.TS > snapTS {
+			if aerr := latest.Apply(u); aerr != nil {
+				err = aerr
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Install the recovered graph as the GraphStore's latest (cheaper than
+	// re-applying every update through the store).
+	s.gs = graphstore.NewWithLatest(s.opts.GraphStoreBytes, latest)
+	return nil
+}
+
+// Append writes one committed update into the log and time index, applies
+// it to the latest in-memory graph, and runs the snapshot policy. Updates
+// must arrive in non-decreasing timestamp order.
+func (s *Store) Append(u model.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(u)
+}
+
+// AppendBatch appends a batch of updates under one lock acquisition (the
+// paper batches transactions for ingestion performance, Sec 6.4).
+func (s *Store) AppendBatch(us []model.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range us {
+		if err := s.appendLocked(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) appendLocked(u model.Update) error {
+	if u.TS < s.lastTS {
+		return fmt.Errorf("timestore: %w: ts %d after %d", model.ErrNonMonotonic, u.TS, s.lastTS)
+	}
+	payload, err := s.codec.AppendUpdate(s.encBuf[:0], u)
+	if err != nil {
+		return err
+	}
+	s.encBuf = payload[:0]
+	off, err := s.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	if u.TS == s.lastTS {
+		s.seq++
+	} else {
+		s.lastTS, s.seq = u.TS, 0
+	}
+	if err := s.timeIdx.Put(enc.KeyTS(u.TS, s.seq), enc.U64Value(uint64(off))); err != nil {
+		return err
+	}
+	if err := s.gs.ApplyToLatest(u); err != nil {
+		return err
+	}
+	s.updateCount++
+	s.opsSinceSnap++
+
+	// Snapshot policy (operation- or time-based, Sec 4.3).
+	due := false
+	if s.opts.SnapshotEveryOps > 0 && s.opsSinceSnap >= s.opts.SnapshotEveryOps {
+		due = true
+	}
+	if s.opts.SnapshotEveryTime > 0 && u.TS-s.lastSnapTS >= s.opts.SnapshotEveryTime {
+		due = true
+	}
+	if due {
+		s.scheduleSnapshotLocked()
+	}
+	return nil
+}
+
+// scheduleSnapshotLocked hands the latest graph to the background snapshot
+// worker (a CoW clone, so the commit path pays O(1)). While the worker's
+// queue is full the trigger is deferred — the policy counters are left
+// untouched, so the very next append retries — keeping snapshot density
+// close to the policy even during bulk loads.
+func (s *Store) scheduleSnapshotLocked() {
+	if len(s.snapCh) == cap(s.snapCh) {
+		return // worker busy; retry on the next append
+	}
+	g := s.gs.Latest()
+	s.opsSinceSnap = 0
+	s.lastSnapTS = g.Timestamp()
+	s.snapWG.Add(1)
+	s.snapCh <- g // cannot block: single producer under s.mu saw room
+}
+
+// WaitSnapshots blocks until all in-flight background snapshots are
+// persisted (used by tests and benchmarks).
+func (s *Store) WaitSnapshots() { s.snapWG.Wait() }
+
+// CreateSnapshot forces an eager snapshot of the latest graph.
+func (s *Store) CreateSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createSnapshotLocked()
+}
+
+func (s *Store) createSnapshotLocked() error {
+	g := s.gs.Latest()
+	ts := g.Timestamp()
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("snap-%016x.snap", uint64(ts)))
+	if err := s.writeSnapshotFile(path, g); err != nil {
+		return err
+	}
+	if err := s.snapIdx.Put(enc.KeyTSPrefix(ts), []byte(path)); err != nil {
+		return err
+	}
+	s.gs.Put(g)
+	s.opsSinceSnap = 0
+	s.lastSnapTS = ts
+	s.snapshotCount.Add(1)
+	return nil
+}
+
+// writeSnapshotFile serializes a full graph materialization: a framed
+// sequence of insertion updates in the Fig 3 record format.
+func (s *Store) writeSnapshotFile(path string, g *memgraph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var hdr [8]byte
+	buf := make([]byte, 0, 256)
+	for _, u := range g.Export() {
+		buf = buf[:0]
+		buf, err = s.codec.AppendUpdate(buf, u)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(buf)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf))
+		if _, err := w.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (s *Store) loadSnapshotFile(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	g := memgraph.New()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("timestore: snapshot read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("timestore: snapshot body: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("timestore: snapshot checksum mismatch in %s", path)
+		}
+		u, err := s.codec.DecodeUpdate(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Apply(u); err != nil {
+			return nil, err
+		}
+	}
+	g.SetTimestamp(ts)
+	return g, nil
+}
+
+// Stats reports store counters for the benchmark harness.
+type Stats struct {
+	Updates       uint64
+	Snapshots     int
+	LogBytes      int64
+	IndexBytes    int64
+	SnapshotBytes int64
+	GraphStore    graphstore.Stats
+}
+
+// Stats returns a snapshot of the store's counters and on-disk footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var snapBytes int64
+	s.snapIdx.Scan(nil, nil, func(k, v []byte) bool {
+		if st, err := os.Stat(string(v)); err == nil {
+			snapBytes += st.Size()
+		}
+		return true
+	})
+	return Stats{
+		Updates:       s.updateCount,
+		Snapshots:     int(s.snapshotCount.Load()),
+		LogBytes:      s.log.Size(),
+		IndexBytes:    s.timeIdx.DiskBytes() + s.snapIdx.DiskBytes(),
+		SnapshotBytes: snapBytes,
+		GraphStore:    s.gs.Stats(),
+	}
+}
+
+// DiskBytes reports the total on-disk footprint (log + indexes + snapshots)
+// for the Fig 10 storage experiment.
+func (s *Store) DiskBytes() int64 {
+	st := s.Stats()
+	return st.LogBytes + st.IndexBytes + st.SnapshotBytes
+}
+
+// LatestTimestamp returns the newest committed timestamp.
+func (s *Store) LatestTimestamp() model.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTS
+}
+
+// GraphStore exposes the snapshot cache (used by procedures that store
+// intermediate results, Sec 5.2).
+func (s *Store) GraphStore() *graphstore.Store { return s.gs }
+
+// Flush persists indexes and the log, after draining in-flight snapshots.
+func (s *Store) Flush() error {
+	s.snapWG.Wait()
+	if err := s.timeIdx.Flush(); err != nil {
+		return err
+	}
+	if err := s.snapIdx.Flush(); err != nil {
+		return err
+	}
+	return s.log.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if s.snapCh != nil {
+		close(s.snapCh)
+		<-s.workerDone
+		s.snapCh = nil
+	}
+	return s.log.Close()
+}

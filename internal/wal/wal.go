@@ -1,0 +1,159 @@
+// Package wal implements the TimeStore's update log (Sec 4.3): an
+// append-only file of variable-size records ordered by monotonically
+// increasing transaction timestamps, similar to a database write-ahead log
+// with no retention policy. Records are addressed by byte offset so a
+// B+Tree can index them by time, and can be read back individually or
+// scanned as a range.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// recordHeaderSize is the per-record framing: length (4) + CRC32 (4).
+const recordHeaderSize = 8
+
+// Log is an append-only record log. Appends are serialized; reads may run
+// concurrently with appends.
+type Log struct {
+	mu       sync.RWMutex
+	f        *os.File
+	size     int64 // next append offset
+	path     string
+	writeBuf []byte // reused append scratch, guarded by mu
+}
+
+// Open creates or opens the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	return &Log{f: f, size: st.Size(), path: path}, nil
+}
+
+// OpenTemp opens a log on a fresh temporary file under dir (or the system
+// temp dir if dir is empty); useful for benchmarks.
+func OpenTemp(dir string) (*Log, error) {
+	f, err := os.CreateTemp(dir, "aion-wal-*.log")
+	if err != nil {
+		return nil, fmt.Errorf("wal: temp: %w", err)
+	}
+	return &Log{f: f, path: f.Name()}, nil
+}
+
+// Append writes one record and returns its offset. Header and payload go
+// out in a single write to keep the per-update ingestion cost low.
+func (l *Log) Append(payload []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap(l.writeBuf) < recordHeaderSize+len(payload) {
+		l.writeBuf = make([]byte, recordHeaderSize+len(payload))
+	}
+	buf := l.writeBuf[:recordHeaderSize+len(payload)]
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	off := l.size
+	if _, err := l.f.WriteAt(buf, off); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size = off + int64(len(buf))
+	return off, nil
+}
+
+// ReadAt returns the record stored at the given offset.
+func (l *Log) ReadAt(off int64) ([]byte, error) {
+	payload, _, err := l.readAt(off)
+	return payload, err
+}
+
+func (l *Log) readAt(off int64) (payload []byte, next int64, err error) {
+	l.mu.RLock()
+	size := l.size
+	l.mu.RUnlock()
+	if off < 0 || off+recordHeaderSize > size {
+		return nil, 0, fmt.Errorf("wal: offset %d out of range (size %d)", off, size)
+	}
+	var hdr [recordHeaderSize]byte
+	if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, fmt.Errorf("wal: read header: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if off+recordHeaderSize+n > size {
+		return nil, 0, fmt.Errorf("wal: truncated record at %d", off)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(l.f, off+recordHeaderSize, n), payload); err != nil {
+		return nil, 0, fmt.Errorf("wal: read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, fmt.Errorf("wal: checksum mismatch at %d", off)
+	}
+	return payload, off + recordHeaderSize + n, nil
+}
+
+// Scan invokes fn for each record starting at offset from, in append order,
+// until the end of the log or fn returns false. It returns the offset just
+// past the last visited record.
+func (l *Log) Scan(from int64, fn func(off int64, payload []byte) bool) (int64, error) {
+	l.mu.RLock()
+	end := l.size
+	l.mu.RUnlock()
+	off := from
+	for off < end {
+		payload, next, err := l.readAt(off)
+		if err != nil {
+			return off, err
+		}
+		if !fn(off, payload) {
+			return next, nil
+		}
+		off = next
+	}
+	return off, nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.size
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(t.TempDir(), "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := openLog(t)
+	offs := make([]int64, 0, 100)
+	for i := 0; i < 100; i++ {
+		off, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	for i, off := range offs {
+		got, err := l.ReadAt(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("record-%d", i) {
+			t.Errorf("record %d = %q", i, got)
+		}
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	l := openLog(t)
+	for i := 0; i < 50; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	i := 0
+	end, err := l.Scan(0, func(off int64, p []byte) bool {
+		if p[0] != byte(i) {
+			t.Fatalf("out of order at %d: %d", i, p[0])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 50 || end != l.Size() {
+		t.Errorf("visited %d, end %d, size %d", i, end, l.Size())
+	}
+	// Early stop returns the next offset for resumption.
+	count := 0
+	mid, err := l.Scan(0, func(off int64, p []byte) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := 0
+	if _, err := l.Scan(mid, func(off int64, p []byte) bool { rest++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count+rest != 50 {
+		t.Errorf("resumed scan covered %d records", count+rest)
+	}
+}
+
+func TestScanFromMidOffset(t *testing.T) {
+	l := openLog(t)
+	var offs []int64
+	for i := 0; i < 20; i++ {
+		off, _ := l.Append([]byte{byte(i)})
+		offs = append(offs, off)
+	}
+	first := -1
+	l.Scan(offs[7], func(off int64, p []byte) bool {
+		if first < 0 {
+			first = int(p[0])
+		}
+		return true
+	})
+	if first != 7 {
+		t.Errorf("scan from offset started at record %d", first)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	l := openLog(t)
+	l.Append([]byte("x"))
+	if _, err := l.ReadAt(-1); err == nil {
+		t.Error("negative offset must fail")
+	}
+	if _, err := l.ReadAt(l.Size()); err == nil {
+		t.Error("past-end offset must fail")
+	}
+	if _, err := l.ReadAt(3); err == nil {
+		t.Error("misaligned offset must fail checksum or bounds")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := l.Append([]byte("important"))
+	l.Close()
+
+	// Flip a payload byte on disk.
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xFF
+	os.WriteFile(path, b, 0o644)
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.ReadAt(off); err == nil {
+		t.Error("corrupted record must fail checksum")
+	}
+}
+
+func TestReopenPreservesSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, _ := Open(path)
+	l.Append([]byte("one"))
+	off2, _ := l.Append([]byte("two"))
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.ReadAt(off2)
+	if err != nil || string(got) != "two" {
+		t.Errorf("reopened read: %q %v", got, err)
+	}
+	// New appends continue after existing data.
+	off3, _ := l2.Append([]byte("three"))
+	if off3 <= off2 {
+		t.Error("append after reopen must extend the log")
+	}
+}
+
+func TestConcurrentReadersDuringAppend(t *testing.T) {
+	l := openLog(t)
+	for i := 0; i < 100; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := 0
+				l.Scan(0, func(off int64, p []byte) bool { n++; return true })
+				if n < 100 {
+					t.Errorf("reader saw %d records", n)
+					return
+				}
+			}
+		}()
+	}
+	for i := 100; i < 200; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	wg.Wait()
+}
+
+func TestOpenTemp(t *testing.T) {
+	l, err := OpenTemp(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Path() == "" {
+		t.Error("temp log must report its path")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
