@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the packages touched by the parallel snapshot pipeline plus
+# everything else under internal/ (all are expected to be race-clean).
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of the read-path benchmarks: enough to catch regressions in
+# the pipeline wiring without a full benchmark run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SnapshotLoad|GetGraph$$' -benchtime 1x ./internal/timestore/

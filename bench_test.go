@@ -198,3 +198,14 @@ func BenchmarkAblationPlannerThreshold(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationParallelIO sweeps the snapshot/replay pipeline worker
+// count (Options.ParallelIO), comparing the sequential path against the
+// multi-core (de)serialization stages.
+func BenchmarkAblationParallelIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunParallelIOAblation(benchConfig(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

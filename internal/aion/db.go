@@ -76,6 +76,9 @@ type Options struct {
 	GraphStoreBytes int64
 	// AsyncQueueDepth bounds the background cascade queue (batches).
 	AsyncQueueDepth int
+	// ParallelIO bounds the TimeStore's snapshot (de)serialization and
+	// replay pipeline workers (<= 0: GOMAXPROCS; 1: fully sequential).
+	ParallelIO int
 }
 
 // DB is an Aion hybrid temporal store instance.
@@ -128,6 +131,7 @@ func Open(opts Options) (*DB, error) {
 			Dir:              filepath.Join(opts.Dir, "timestore"),
 			SnapshotEveryOps: opts.SnapshotEveryOps,
 			GraphStoreBytes:  opts.GraphStoreBytes,
+			ParallelIO:       opts.ParallelIO,
 		})
 		if err != nil {
 			return nil, err

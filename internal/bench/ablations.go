@@ -6,6 +6,7 @@ import (
 	"aion/internal/datagen"
 	"aion/internal/enc"
 	"aion/internal/model"
+	"aion/internal/pool"
 	"aion/internal/strstore"
 	"aion/internal/timestore"
 )
@@ -95,5 +96,52 @@ func RunPlannerThresholdAblation(c Config) error {
 			f2(lsDur.Seconds()*1000/samples), f2(tsDur.Seconds()*1000/samples), faster)
 	}
 	t.print(c.Out, "Ablation: planner store-selection crossover (30% heuristic, Sec 5.1)")
+	return nil
+}
+
+// RunParallelIOAblation sweeps the worker count of the snapshot
+// (de)serialization and replay pipelines (Options.ParallelIO): GetGraph is
+// forced to load its base snapshot from disk (GraphStoreBytes=1) so each
+// query pays the full read+CRC+decode+apply path that the pipeline
+// parallelizes.
+func RunParallelIOAblation(c Config) error {
+	c.Defaults()
+	ds := c.genDataset(c.Datasets[0], datagen.Options{})
+	levels := []int{1, 2, 4, pool.DefaultWorkers()}
+	t := &table{header: []string{"parallel IO", "snapshot write (ms)", "avg GetGraph (ms)"}}
+	for _, par := range levels {
+		st, err := timestore.Open(enc.NewCodec(strstore.NewMem()), timestore.Options{
+			SnapshotEveryOps: 1 << 30, // one eager snapshot below, none from policy
+			GraphStoreBytes:  1,       // evict aggressively: force disk snapshot loads
+			ParallelIO:       par,
+		})
+		if err != nil {
+			return err
+		}
+		if err := st.AppendBatch(ds.Updates); err != nil {
+			return err
+		}
+		wDur := timeIt(func() { err = st.CreateSnapshot() })
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(c.Seed))
+		queries := randTimestamps(rng, c.GlobalOps, ds.MaxTS)
+		dur := timeIt(func() {
+			for _, ts := range queries {
+				if _, err2 := st.GetGraph(ts); err2 != nil {
+					err = err2
+					return
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fi(int64(par)), f2(wDur.Seconds()*1000),
+			f2(dur.Seconds()*1000/float64(len(queries))))
+		st.Close()
+	}
+	t.print(c.Out, "Ablation: parallel snapshot pipeline workers (Options.ParallelIO)")
 	return nil
 }

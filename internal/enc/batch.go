@@ -1,0 +1,25 @@
+package enc
+
+import "aion/internal/model"
+
+// DecodeUpdates decodes a batch of update records produced by AppendUpdate,
+// appending the results to dst. It is the entry point the TimeStore's
+// parallel pipelines use: one worker call amortizes the dispatch cost over
+// a whole frame batch, and the codec is safe for concurrent decoding, so
+// batches may be decoded on many workers at once. On error the updates
+// decoded so far are returned alongside it.
+func (c *Codec) DecodeUpdates(dst []model.Update, payloads [][]byte) ([]model.Update, error) {
+	if cap(dst)-len(dst) < len(payloads) {
+		grown := make([]model.Update, len(dst), len(dst)+len(payloads))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, p := range payloads {
+		u, err := c.DecodeUpdate(p)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, u)
+	}
+	return dst, nil
+}

@@ -1,0 +1,81 @@
+package enc
+
+import (
+	"sync"
+	"testing"
+
+	"aion/internal/model"
+)
+
+func TestDecodeUpdatesRoundTrip(t *testing.T) {
+	c := newCodec()
+	var us []model.Update
+	for i := 0; i < 50; i++ {
+		us = append(us, model.AddNode(model.Timestamp(i+1), model.NodeID(i),
+			[]string{"N"}, model.Properties{"i": model.IntValue(int64(i))}))
+	}
+	var payloads [][]byte
+	for _, u := range us {
+		b, err := c.EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, b)
+	}
+	got, err := c.DecodeUpdates(nil, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(us) {
+		t.Fatalf("decoded %d, want %d", len(got), len(us))
+	}
+	for i, u := range got {
+		if u.NodeID != us[i].NodeID || u.TS != us[i].TS || u.SetProps["i"].Int() != int64(i) {
+			t.Fatalf("update %d decoded as %+v", i, u)
+		}
+	}
+	// Appending into a prefilled dst preserves the prefix.
+	got2, err := c.DecodeUpdates(got[:2:2], payloads[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(us) || got2[0].NodeID != 0 || got2[2].NodeID != 2 {
+		t.Fatalf("prefix append broken: len %d", len(got2))
+	}
+}
+
+func TestDecodeUpdatesError(t *testing.T) {
+	c := newCodec()
+	good, _ := c.EncodeUpdate(model.AddNode(1, 1, nil, nil))
+	dst, err := c.DecodeUpdates(nil, [][]byte{good, {}, good})
+	if err == nil {
+		t.Fatal("empty record must fail")
+	}
+	if len(dst) != 1 {
+		t.Errorf("prefix before the error must be returned, got %d", len(dst))
+	}
+}
+
+// TestDecodeUpdatesConcurrent decodes the same batch from many goroutines,
+// the access pattern of the snapshot-load worker stage (run with -race).
+func TestDecodeUpdatesConcurrent(t *testing.T) {
+	c := newCodec()
+	var payloads [][]byte
+	for i := 0; i < 200; i++ {
+		b, _ := c.EncodeUpdate(model.AddNode(model.Timestamp(i+1), model.NodeID(i),
+			[]string{"N", "M"}, model.Properties{"s": model.StringValue("v")}))
+		payloads = append(payloads, b)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			us, err := c.DecodeUpdates(nil, payloads)
+			if err != nil || len(us) != len(payloads) {
+				t.Errorf("concurrent decode: %d updates, err %v", len(us), err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"aion/internal/model"
 	"aion/internal/strstore"
@@ -287,10 +288,18 @@ func (c *Codec) readValue(b []byte, k model.ValueKind) (model.Value, []byte, err
 
 // appendProps encodes set and deleted properties: count, then per property a
 // flagged key reference (deleted bit, type tag) followed by the value
-// payload (omitted for deletions).
+// payload (omitted for deletions). Keys are emitted in sorted order so the
+// same logical update always encodes to the same bytes — the snapshot
+// writers rely on this for the sequential/parallel byte-identity guarantee.
 func (c *Codec) appendProps(buf []byte, set model.Properties, del []string) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(set)+len(del)))
-	for k, v := range set {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := set[k]
 		tag, err := valueTypeTag(v.Kind())
 		if err != nil {
 			return nil, err

@@ -82,8 +82,17 @@ func (s *Store) LatestTimestamp() model.Timestamp {
 }
 
 // Put caches a snapshot under its own timestamp, evicting least recently
-// used snapshots if the byte budget is exceeded.
-func (s *Store) Put(g *memgraph.Graph) {
+// used snapshots if the byte budget is exceeded. The cached copy is a CoW
+// clone, so the caller may keep mutating g.
+func (s *Store) Put(g *memgraph.Graph) { s.put(g.Clone()) }
+
+// PutOwned caches a snapshot, taking ownership of g: no clone is made, so
+// the caller must not mutate g afterwards. The TimeStore's background
+// snapshot worker uses this to hand over its private graph without forcing
+// a copy-on-write break on the next cache read.
+func (s *Store) PutOwned(g *memgraph.Graph) { s.put(g) }
+
+func (s *Store) put(g *memgraph.Graph) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ts := g.Timestamp()
@@ -93,7 +102,7 @@ func (s *Store) Put(g *memgraph.Graph) {
 		delete(s.entries, ts)
 		s.removeOrder(ts)
 	}
-	e := &entry{ts: ts, g: g.Clone(), bytes: g.ApproxBytes()}
+	e := &entry{ts: ts, g: g, bytes: g.ApproxBytes()}
 	e.elem = s.lru.PushFront(e)
 	s.entries[ts] = e
 	s.bytes += e.bytes

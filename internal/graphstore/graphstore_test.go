@@ -1,6 +1,7 @@
 package graphstore
 
 import (
+	"sync"
 	"testing"
 
 	"aion/internal/memgraph"
@@ -166,4 +167,70 @@ func TestConcurrentReadersAndWriter(t *testing.T) {
 	if n, _ := s.LatestCounts(); n != 500 {
 		t.Errorf("nodes = %d", n)
 	}
+}
+
+// TestPutOwnedIsolation: a PutOwned graph is served back as CoW clones that
+// do not disturb the cached state when mutated.
+func TestPutOwnedIsolation(t *testing.T) {
+	s := New(1 << 20)
+	g := memgraph.New()
+	if err := g.Apply(model.AddNode(5, 0, []string{"A"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.PutOwned(g)
+	c1, ok := s.Get(5)
+	if !ok || c1.NodeCount() != 1 {
+		t.Fatal("PutOwned graph not cached")
+	}
+	if err := c1.Apply(model.AddNode(6, 1, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := s.Get(5)
+	if c2.NodeCount() != 1 {
+		t.Errorf("mutating a handed-out clone leaked into the cache: %d nodes", c2.NodeCount())
+	}
+}
+
+// TestConcurrentPutAndFloor hammers the cache from writers and readers at
+// once (run with -race): the access pattern of background snapshot persists
+// racing GetGraph reads.
+func TestConcurrentPutAndFloor(t *testing.T) {
+	s := New(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g := memgraph.New()
+				ts := model.Timestamp(i*2 + w + 1)
+				if err := g.Apply(model.AddNode(ts, model.NodeID(i), nil, nil)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					s.Put(g)
+				} else {
+					s.PutOwned(g)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if g, _, ok := s.Floor(model.Timestamp(i + 1)); ok {
+					// Mutating the clone must be safe and private.
+					if err := g.Apply(model.AddNode(model.TSInfinity-1, 10_000, nil, nil)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				s.Get(model.Timestamp(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
 }

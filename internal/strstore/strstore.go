@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Ref is a 4-byte reference to an interned string. Per the paper the most
@@ -23,19 +24,23 @@ type Ref uint32
 const MaxRef = 1<<28 - 1
 
 // Store is an append-only interned string table. It is safe for concurrent
-// use. When constructed with a backing file, every new string is appended
-// durably (length-prefixed) so the table can be reloaded.
+// use; the read paths (Lookup, and Intern of an already-known string) are
+// lock-free so the TimeStore's parallel encode/decode workers do not
+// serialize on the table. When constructed with a backing file, every new
+// string is appended durably (length-prefixed) so the table can be reloaded.
 type Store struct {
-	mu   sync.RWMutex
-	byID []string
-	ids  map[string]Ref
+	mu   sync.Mutex   // serializes interning of new strings and file state
+	byID atomic.Value // []string; append-only, republished on growth
+	ids  sync.Map     // string -> Ref; written once per string
 	w    *bufio.Writer
 	f    *os.File
 }
 
 // NewMem creates an in-memory store with no persistence.
 func NewMem() *Store {
-	return &Store{ids: make(map[string]Ref)}
+	s := &Store{}
+	s.byID.Store([]string(nil))
+	return s
 }
 
 // Open creates or reloads a persistent store backed by the given file.
@@ -44,9 +49,10 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("strstore: open: %w", err)
 	}
-	s := &Store{ids: make(map[string]Ref), f: f}
+	s := &Store{f: f}
 	r := bufio.NewReader(f)
 	var lenBuf [4]byte
+	var byID []string
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			if err == io.EOF {
@@ -62,32 +68,37 @@ func Open(path string) (*Store, error) {
 			return nil, fmt.Errorf("strstore: reload body: %w", err)
 		}
 		str := string(b)
-		s.ids[str] = Ref(len(s.byID))
-		s.byID = append(s.byID, str)
+		s.ids.Store(str, Ref(len(byID)))
+		byID = append(byID, str)
 	}
+	s.byID.Store(byID)
 	s.w = bufio.NewWriter(f)
 	return s, nil
 }
 
+func (st *Store) table() []string {
+	t, _ := st.byID.Load().([]string)
+	return t
+}
+
 // Intern returns the reference for s, assigning and persisting a new one if
-// the string has not been seen before.
+// the string has not been seen before. Known strings resolve without
+// taking a lock.
 func (st *Store) Intern(s string) (Ref, error) {
-	st.mu.RLock()
-	if id, ok := st.ids[s]; ok {
-		st.mu.RUnlock()
-		return id, nil
+	if id, ok := st.ids.Load(s); ok {
+		return id.(Ref), nil
 	}
-	st.mu.RUnlock()
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if id, ok := st.ids[s]; ok {
-		return id, nil
+	if id, ok := st.ids.Load(s); ok {
+		return id.(Ref), nil
 	}
-	if len(st.byID) >= MaxRef {
-		return 0, fmt.Errorf("strstore: table full (%d strings)", len(st.byID))
+	cur := st.table()
+	if len(cur) >= MaxRef {
+		return 0, fmt.Errorf("strstore: table full (%d strings)", len(cur))
 	}
-	id := Ref(len(st.byID))
+	id := Ref(len(cur))
 	if st.w != nil {
 		var lenBuf [4]byte
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
@@ -98,8 +109,11 @@ func (st *Store) Intern(s string) (Ref, error) {
 			return 0, fmt.Errorf("strstore: append: %w", err)
 		}
 	}
-	st.ids[s] = id
-	st.byID = append(st.byID, s)
+	// Appends are serialized under mu and concurrent readers never index
+	// past the length of the header they loaded, so appending in place
+	// (when capacity allows) and republishing the longer header is safe.
+	st.byID.Store(append(cur, s))
+	st.ids.Store(s, id)
 	return id, nil
 }
 
@@ -113,21 +127,18 @@ func (st *Store) MustIntern(s string) Ref {
 	return r
 }
 
-// Lookup resolves a reference back to its string.
+// Lookup resolves a reference back to its string without locking.
 func (st *Store) Lookup(r Ref) (string, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if int(r) >= len(st.byID) {
-		return "", fmt.Errorf("strstore: dangling ref %d (table size %d)", r, len(st.byID))
+	t := st.table()
+	if int(r) >= len(t) {
+		return "", fmt.Errorf("strstore: dangling ref %d (table size %d)", r, len(t))
 	}
-	return st.byID[r], nil
+	return t[r], nil
 }
 
 // Len returns the number of interned strings.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.byID)
+	return len(st.table())
 }
 
 // Flush writes buffered appends to the backing file.
@@ -158,12 +169,12 @@ func (st *Store) Close() error {
 // DiskBytes reports the current byte size of the backing file (0 for
 // in-memory stores); used by the Fig 10 storage accounting.
 func (st *Store) DiskBytes() int64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	var n int64
-	for _, s := range st.byID {
+	for _, s := range st.table() {
 		n += 4 + int64(len(s))
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.f == nil {
 		return 0
 	}

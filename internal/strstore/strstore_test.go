@@ -1,6 +1,7 @@
 package strstore
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 )
@@ -100,5 +101,44 @@ func TestConcurrentIntern(t *testing.T) {
 	}
 	if s.Len() != len(words) {
 		t.Errorf("Len = %d, want %d", s.Len(), len(words))
+	}
+}
+
+// TestConcurrentInternAndLookup exercises the lock-free read paths against
+// a writer interning a stream of fresh strings (run with -race).
+func TestConcurrentInternAndLookup(t *testing.T) {
+	s := NewMem()
+	const n = 2000
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < n; i++ {
+			s.MustIntern(fmt.Sprintf("str-%d", i))
+		}
+		done <- true
+	}()
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < n; i++ {
+				if l := s.Len(); l > 0 {
+					got, err := s.Lookup(Ref(l - 1))
+					if err != nil || got == "" {
+						t.Errorf("lookup of published ref failed: %q %v", got, err)
+						break
+					}
+				}
+				s.MustIntern("shared")
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 5; g++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		w := fmt.Sprintf("str-%d", i)
+		r := s.MustIntern(w)
+		if got, _ := s.Lookup(r); got != w {
+			t.Fatalf("ref %d resolves to %q, want %q", r, got, w)
+		}
 	}
 }

@@ -1,0 +1,315 @@
+// Parallel snapshot and replay pipelines. Snapshot retrieval dominates
+// global-query latency (Sec 4.3, Figs 6-7): GetGraph loads the floor
+// snapshot and replays the log tail, and both halves were single-threaded
+// encode/CRC/decode/apply loops. Here each becomes a staged pipeline over
+// pool.RunOrdered — a sequential reader/writer on the order-sensitive edge,
+// Options.ParallelIO workers on the CPU-heavy middle — so reads scale with
+// cores while producing byte- and order-identical results to the
+// sequential paths (ParallelIO=1 selects those directly).
+package timestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"aion/internal/memgraph"
+	"aion/internal/model"
+	"aion/internal/pool"
+	"aion/internal/wal"
+)
+
+const (
+	// frameBatchRecords is the number of records grouped into one pipeline
+	// job: large enough to amortize channel hand-off, small enough to keep
+	// every worker busy near the end of a file.
+	frameBatchRecords = 256
+	// frameBatchBytes caps a job's payload bytes so huge records do not
+	// inflate pipeline memory (in-flight jobs are bounded by the stage).
+	frameBatchBytes = 256 << 10
+	// replayReadahead is the log ScanBatch chunk size used during replay.
+	replayReadahead = 1 << 20
+)
+
+// frameBatch is one pipeline job: a pooled buffer of concatenated record
+// payloads plus per-record metadata. ends[i] is the end offset of record i
+// within buf; sums carries the snapshot frame CRCs (verified by the
+// workers); offs carries log offsets during replay (the WAL scan verifies
+// its own CRCs).
+type frameBatch struct {
+	buf  *[]byte
+	ends []int
+	sums []uint32
+	offs []int64
+}
+
+// release returns the batch buffer to the scratch pool.
+func (b *frameBatch) release(s *Store) {
+	*b.buf = (*b.buf)[:0]
+	s.framePool.Put(b.buf)
+}
+
+// decodedBatch is a worker's output: updates in record order plus, for
+// replay, the log offset of each.
+type decodedBatch struct {
+	us   []model.Update
+	offs []int64
+}
+
+// writeSnapshotFile serializes a full graph materialization (a framed
+// sequence of insertion updates in the Fig 3 record format), returning the
+// bytes written. ParallelIO > 1 encodes on a worker pool.
+func (s *Store) writeSnapshotFile(path string, g *memgraph.Graph) (int64, error) {
+	if s.opts.ParallelIO > 1 {
+		return s.writeSnapshotFileParallel(path, g)
+	}
+	return s.writeSnapshotFileSeq(path, g)
+}
+
+// writeSnapshotFileParallel: update slices are encoded and CRC-framed by
+// ParallelIO workers; the consumer streams the finished chunks to one
+// bufio writer in emission order, so the file bytes are identical to the
+// sequential writer's.
+func (s *Store) writeSnapshotFileParallel(path string, g *memgraph.Graph) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var written int64
+	us := g.Export()
+	err = pool.RunOrdered(s.opts.ParallelIO,
+		func(emit func([]model.Update) bool) error {
+			for len(us) > 0 {
+				n := frameBatchRecords
+				if n > len(us) {
+					n = len(us)
+				}
+				if !emit(us[:n]) {
+					return nil
+				}
+				us = us[n:]
+			}
+			return nil
+		},
+		func(batch []model.Update) (*[]byte, error) {
+			bp := s.framePool.Get()
+			buf := *bp
+			for _, u := range batch {
+				start := len(buf)
+				buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header slot
+				var err error
+				buf, err = s.codec.AppendUpdate(buf, u)
+				if err != nil {
+					*bp = buf[:0]
+					s.framePool.Put(bp)
+					return nil, err
+				}
+				payload := buf[start+8:]
+				binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+				binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(payload))
+			}
+			*bp = buf
+			return bp, nil
+		},
+		func(bp *[]byte) error {
+			_, werr := w.Write(*bp)
+			written += int64(len(*bp))
+			*bp = (*bp)[:0]
+			s.framePool.Put(bp)
+			return werr
+		})
+	if err != nil {
+		f.Close()
+		return written, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return written, err
+	}
+	return written, f.Close()
+}
+
+// loadSnapshotFile materializes a snapshot file into a fresh graph.
+// ParallelIO > 1 runs the 3-stage pipeline: sequential frame reader →
+// CRC+decode workers → in-order ApplyAll batches.
+func (s *Store) loadSnapshotFile(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+	if s.opts.ParallelIO > 1 {
+		return s.loadSnapshotFileParallel(path, ts)
+	}
+	return s.loadSnapshotFileSeq(path, ts)
+}
+
+func (s *Store) loadSnapshotFileParallel(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	g := memgraph.New()
+	err = pool.RunOrdered(s.opts.ParallelIO,
+		func(emit func(frameBatch) bool) error {
+			var hdr [8]byte
+			eof := false
+			for !eof {
+				b := frameBatch{buf: s.framePool.Get()}
+				buf := (*b.buf)[:0]
+				for len(b.ends) < frameBatchRecords && len(buf) < frameBatchBytes {
+					if _, err := io.ReadFull(r, hdr[:]); err != nil {
+						if err == io.EOF {
+							eof = true
+							break
+						}
+						b.release(s)
+						return fmt.Errorf("timestore: snapshot read: %w", err)
+					}
+					n := int(binary.LittleEndian.Uint32(hdr[:4]))
+					start := len(buf)
+					buf = growBytes(buf, n)
+					if _, err := io.ReadFull(r, buf[start:]); err != nil {
+						b.release(s)
+						return fmt.Errorf("timestore: snapshot body: %w", err)
+					}
+					b.ends = append(b.ends, len(buf))
+					b.sums = append(b.sums, binary.LittleEndian.Uint32(hdr[4:]))
+				}
+				*b.buf = buf
+				if len(b.ends) == 0 {
+					b.release(s)
+					continue
+				}
+				if !emit(b) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(b frameBatch) (decodedBatch, error) {
+			defer b.release(s)
+			buf := *b.buf
+			payloads := make([][]byte, len(b.ends))
+			start := 0
+			for i, end := range b.ends {
+				payload := buf[start:end]
+				if crc32.ChecksumIEEE(payload) != b.sums[i] {
+					return decodedBatch{}, fmt.Errorf("timestore: snapshot checksum mismatch in %s", path)
+				}
+				payloads[i] = payload
+				start = end
+			}
+			us, err := s.codec.DecodeUpdates(make([]model.Update, 0, len(payloads)), payloads)
+			if err != nil {
+				return decodedBatch{}, err
+			}
+			return decodedBatch{us: us}, nil
+		},
+		func(d decodedBatch) error {
+			return g.ApplyAll(d.us)
+		})
+	if err != nil {
+		return nil, err
+	}
+	g.SetTimestamp(ts)
+	return g, nil
+}
+
+// growBytes extends b by n zero bytes, reallocating only when needed.
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	return append(b, make([]byte, n)...)
+}
+
+// replayLog streams decoded updates (with their log offsets) starting at
+// log offset from, in commit order, stopping early when fn returns false.
+// It is the shared replay engine of recover, ScanDiff, and therefore
+// GetGraph/GetGraphs: the WAL is scanned with readahead batches and, when
+// ParallelIO > 1, record decoding runs on the worker stage while fn (index
+// maintenance, graph apply) stays in order on the calling goroutine.
+func (s *Store) replayLog(from int64, fn func(off int64, u model.Update) bool) error {
+	if s.opts.ParallelIO > 1 {
+		return s.replayLogParallel(from, fn)
+	}
+	var derr error
+	_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
+		for _, fr := range frames {
+			u, e := s.codec.DecodeUpdate(fr.Payload)
+			if e != nil {
+				derr = e
+				return false
+			}
+			if !fn(fr.Off, u) {
+				return false
+			}
+		}
+		return true
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (s *Store) replayLogParallel(from int64, fn func(off int64, u model.Update) bool) error {
+	return pool.RunOrdered(s.opts.ParallelIO,
+		func(emit func(frameBatch) bool) error {
+			stopped := false
+			_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
+				// Frames alias the scan's readahead buffer, so each job
+				// copies its records into a pooled batch buffer before the
+				// scan moves on.
+				for len(frames) > 0 {
+					n := len(frames)
+					if n > frameBatchRecords {
+						n = frameBatchRecords
+					}
+					b := frameBatch{buf: s.framePool.Get()}
+					buf := (*b.buf)[:0]
+					for _, fr := range frames[:n] {
+						buf = append(buf, fr.Payload...)
+						b.ends = append(b.ends, len(buf))
+						b.offs = append(b.offs, fr.Off)
+					}
+					*b.buf = buf
+					frames = frames[n:]
+					if !emit(b) {
+						stopped = true
+						return false
+					}
+				}
+				return true
+			})
+			if stopped {
+				return nil
+			}
+			return err
+		},
+		func(b frameBatch) (decodedBatch, error) {
+			defer b.release(s)
+			buf := *b.buf
+			payloads := make([][]byte, len(b.ends))
+			start := 0
+			for i, end := range b.ends {
+				payloads[i] = buf[start:end]
+				start = end
+			}
+			us, err := s.codec.DecodeUpdates(make([]model.Update, 0, len(payloads)), payloads)
+			if err != nil {
+				return decodedBatch{}, err
+			}
+			return decodedBatch{us: us, offs: b.offs}, nil
+		},
+		func(d decodedBatch) error {
+			for i, u := range d.us {
+				if !fn(d.offs[i], u) {
+					return pool.ErrStop
+				}
+			}
+			return nil
+		})
+}

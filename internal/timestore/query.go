@@ -39,22 +39,12 @@ func (s *Store) ScanDiff(start, end model.Timestamp, fn func(u model.Update) boo
 	if off < 0 {
 		return nil // no updates at or after start
 	}
-	var derr error
-	_, err = s.log.Scan(off, func(_ int64, payload []byte) bool {
-		u, e := s.codec.DecodeUpdate(payload)
-		if e != nil {
-			derr = e
-			return false
-		}
+	return s.replayLog(off, func(_ int64, u model.Update) bool {
 		if u.TS >= end {
 			return false
 		}
 		return fn(u)
 	})
-	if derr != nil {
-		return derr
-	}
-	return err
 }
 
 // GetGraph materializes the LPG snapshot valid at ts: fetch the snapshot
@@ -96,8 +86,11 @@ func (s *Store) baseSnapshot(ts model.Timestamp) (*memgraph.Graph, model.Timesta
 		if err != nil {
 			return nil, 0, err
 		}
-		s.gs.Put(g) // warm the cache for subsequent queries
-		return g.Clone(), snapTS, nil
+		// Put caches a CoW clone, so g itself can be handed back directly:
+		// cloning again here would force an extra copy-on-write break on the
+		// caller's first mutation.
+		s.gs.Put(g)
+		return g, snapTS, nil
 	}
 	return memgraph.New(), -1, nil
 }
