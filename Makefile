@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ vet:
 # the pipeline wiring without a full benchmark run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SnapshotLoad|GetGraph$$' -benchtime 1x ./internal/timestore/
+
+# A short run of the record-decoder fuzzer (recovery feeds it torn log
+# tails): long enough to exercise the mutator, short enough for CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeUpdates -fuzztime 30s ./internal/enc/

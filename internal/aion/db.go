@@ -23,6 +23,7 @@ import (
 	"aion/internal/model"
 	"aion/internal/strstore"
 	"aion/internal/timestore"
+	"aion/internal/vfs"
 )
 
 // SyncMode selects which temporal stores a write transaction updates
@@ -79,6 +80,9 @@ type Options struct {
 	// ParallelIO bounds the TimeStore's snapshot (de)serialization and
 	// replay pipeline workers (<= 0: GOMAXPROCS; 1: fully sequential).
 	ParallelIO int
+	// FS is the filesystem every store lives on; nil means the real OS
+	// filesystem (used by the crash-recovery tests to inject faults).
+	FS vfs.FS
 }
 
 // DB is an Aion hybrid temporal store instance.
@@ -104,21 +108,27 @@ type DB struct {
 // Open creates or reopens an Aion store.
 func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
-		dir, err := os.MkdirTemp("", "aion-*")
-		if err != nil {
-			return nil, err
+		if opts.FS != nil {
+			opts.Dir = "aion"
+		} else {
+			dir, err := os.MkdirTemp("", "aion-*")
+			if err != nil {
+				return nil, err
+			}
+			opts.Dir = dir
 		}
-		opts.Dir = dir
 	}
 	if opts.AsyncQueueDepth <= 0 {
 		opts.AsyncQueueDepth = 1024
 	}
-	for _, sub := range []string{"timestore", "lineage"} {
-		if err := os.MkdirAll(filepath.Join(opts.Dir, sub), 0o755); err != nil {
-			return nil, err
+	if opts.FS == nil {
+		for _, sub := range []string{"timestore", "lineage"} {
+			if err := os.MkdirAll(filepath.Join(opts.Dir, sub), 0o755); err != nil {
+				return nil, err
+			}
 		}
 	}
-	strings, err := strstore.Open(filepath.Join(opts.Dir, "strings.db"))
+	strings, err := strstore.OpenFS(vfs.OrOS(opts.FS), filepath.Join(opts.Dir, "strings.db"))
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +142,7 @@ func Open(opts Options) (*DB, error) {
 			SnapshotEveryOps: opts.SnapshotEveryOps,
 			GraphStoreBytes:  opts.GraphStoreBytes,
 			ParallelIO:       opts.ParallelIO,
+			FS:               opts.FS,
 		})
 		if err != nil {
 			return nil, err
@@ -141,6 +152,7 @@ func Open(opts Options) (*DB, error) {
 		db.ls, err = lineagestore.Open(codec, lineagestore.Options{
 			Dir:            filepath.Join(opts.Dir, "lineage"),
 			ChainThreshold: opts.ChainThreshold,
+			FS:             opts.FS,
 		})
 		if err != nil {
 			return nil, err
@@ -149,12 +161,69 @@ func Open(opts Options) (*DB, error) {
 	if db.ts != nil {
 		db.rebuildStatsFromLatest()
 	}
+	if err := db.rebuildLineage(); err != nil {
+		return nil, err
+	}
+	// Make strings.db's directory entry durable: its content syncs would
+	// otherwise be futile — a file whose name never reached the directory
+	// vanishes entirely at a crash, stranding the (surviving) TimeStore log
+	// with dangling string refs.
+	if err := vfs.OrOS(opts.FS).SyncDir(opts.Dir); err != nil {
+		return nil, err
+	}
 	if opts.Mode == SyncHybrid {
 		db.queue = make(chan cascadeItem, opts.AsyncQueueDepth)
 		db.wg.Add(1)
 		go db.cascadeWorker()
 	}
 	return db, nil
+}
+
+// rebuildLineage reconstructs the LineageStore from the TimeStore log after
+// a reopen. The LineageStore is maintained asynchronously and carries no
+// durable watermark, so after a crash its on-disk indexes may lag or lead
+// the TimeStore's durable prefix in ways that cannot be detected; wiping
+// and replaying the (authoritative) log is the only always-correct state.
+func (db *DB) rebuildLineage() error {
+	if db.ts == nil || db.ls == nil {
+		return nil
+	}
+	if db.ts.Stats().Updates == 0 {
+		if db.ls.AppliedThrough() >= 0 {
+			// Orphaned lineage state with an empty log: discard it too.
+			return db.ls.Wipe()
+		}
+		return nil
+	}
+	if err := db.ls.Wipe(); err != nil {
+		return err
+	}
+	batch := make([]model.Update, 0, 256)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := db.ls.ApplyBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	var aerr error
+	err := db.ts.ScanDiff(0, db.ts.LatestTimestamp()+1, func(u model.Update) bool {
+		batch = append(batch, u)
+		if len(batch) == cap(batch) {
+			if aerr = flush(); aerr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if aerr != nil {
+		return aerr
+	}
+	if err != nil {
+		return err
+	}
+	return flush()
 }
 
 // rebuildStatsFromLatest repopulates the planner histograms and the entity
@@ -338,6 +407,20 @@ func (db *DB) DiskBytes() (timeStore, lineage int64) {
 		lineage = db.ls.DiskBytes()
 	}
 	return
+}
+
+// Flush makes every ingested update durable. The TimeStore log is the
+// authoritative copy (the LineageStore is rebuilt from it at Open), so
+// flushing the TimeStore — which syncs the shared string table before its
+// log — is sufficient in every mode that has one.
+func (db *DB) Flush() error {
+	if db.ts != nil {
+		return db.ts.Flush()
+	}
+	if err := db.strings.Sync(); err != nil {
+		return err
+	}
+	return db.ls.Flush()
 }
 
 // Close drains the background queue, flushes, and closes all stores.

@@ -78,6 +78,11 @@ func Open(pc *pagecache.Cache) (*Tree, error) {
 	t.meta = 0
 	t.root = pagecache.PageID(binary.BigEndian.Uint64(meta[8:]))
 	t.count = binary.BigEndian.Uint64(meta[16:])
+	if t.root >= pagecache.PageID(pc.PageCount()) {
+		// The meta survived but the file lost the root page (truncation by
+		// a crash): the tree is unrecoverable.
+		return nil, fmt.Errorf("btree: root page %d beyond file end (%d pages)", t.root, pc.PageCount())
+	}
 	return t, nil
 }
 

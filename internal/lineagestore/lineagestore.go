@@ -21,6 +21,7 @@ import (
 	"aion/internal/enc"
 	"aion/internal/model"
 	"aion/internal/pagecache"
+	"aion/internal/vfs"
 )
 
 // DefaultChainThreshold is the delta-chain length at which an entity
@@ -37,6 +38,9 @@ type Options struct {
 	ChainThreshold int
 	// IndexCachePages is the per-tree page cache budget.
 	IndexCachePages int
+	// FS is the filesystem the index files live on; nil means the real OS
+	// filesystem (used by the crash-recovery tests to inject faults).
+	FS vfs.FS
 }
 
 func (o *Options) defaults() {
@@ -48,53 +52,118 @@ func (o *Options) defaults() {
 	}
 }
 
+// indexFiles are the four on-disk B+Tree files, in fixed order.
+var indexFiles = [4]string{"nodes.idx", "rels.idx", "out.idx", "in.idx"}
+
 // Store is a LineageStore instance. Writes are serialized; reads may run
 // concurrently with each other.
 type Store struct {
 	mu    sync.RWMutex
 	opts  Options
+	fs    vfs.FS
 	codec *enc.Codec
 
 	nodes *btree.Tree // KeyNode(id, ts)            -> [chainPos][update record]
 	rels  *btree.Tree // KeyRel(id, ts)             -> [chainPos][update record]
 	out   *btree.Tree // KeyNeigh4(src, tgt, ts, r) -> NeighValue(r, deleted)
 	in    *btree.Tree // KeyNeigh4(tgt, src, ts, r) -> NeighValue(r, deleted)
+	pcs   [4]*pagecache.Cache
 
 	lastTS      model.Timestamp
 	updateCount uint64
+	reset       bool // Open found corrupt indexes and started fresh
 }
 
-// Open creates or reopens a LineageStore in opts.Dir.
+// Open creates or reopens a LineageStore in opts.Dir. The LineageStore is
+// derived data — every record it holds is reconstructible from the
+// TimeStore log — so if the index files are corrupt (a crash tore B+Tree
+// pages mid-flush) Open resets them to empty instead of failing: the owner
+// rebuilds or re-cascades, and queries fall back to the TimeStore meanwhile.
 func Open(codec *enc.Codec, opts Options) (*Store, error) {
 	opts.defaults()
 	if opts.Dir == "" {
-		dir, err := os.MkdirTemp("", "aion-lineage-*")
-		if err != nil {
-			return nil, err
+		if opts.FS != nil {
+			opts.Dir = "lineage"
+		} else {
+			dir, err := os.MkdirTemp("", "aion-lineage-*")
+			if err != nil {
+				return nil, err
+			}
+			opts.Dir = dir
 		}
-		opts.Dir = dir
 	}
-	s := &Store{opts: opts, codec: codec, lastTS: -1}
-	for _, t := range []struct {
-		name string
-		dst  **btree.Tree
-	}{
-		{"nodes.idx", &s.nodes},
-		{"rels.idx", &s.rels},
-		{"out.idx", &s.out},
-		{"in.idx", &s.in},
-	} {
-		pc, err := pagecache.Open(filepath.Join(opts.Dir, t.name), opts.IndexCachePages)
-		if err != nil {
-			return nil, err
+	s := &Store{opts: opts, fs: vfs.OrOS(opts.FS), codec: codec, lastTS: -1}
+	if err := s.openTrees(); err != nil {
+		// Corrupt index files: wipe and start empty.
+		if werr := s.Wipe(); werr != nil {
+			return nil, fmt.Errorf("lineagestore: open: %v; reset failed: %w", err, werr)
 		}
-		tree, err := btree.Open(pc)
-		if err != nil {
-			return nil, err
-		}
-		*t.dst = tree
+		s.reset = true
 	}
 	return s, nil
+}
+
+// openTrees opens the four index trees; on failure everything already
+// opened is closed again.
+func (s *Store) openTrees() error {
+	trees := [4]**btree.Tree{&s.nodes, &s.rels, &s.out, &s.in}
+	for i, name := range indexFiles {
+		path := filepath.Join(s.opts.Dir, name)
+		// A file cut mid-page is a crash artifact: the B+Tree cannot be
+		// trusted even if the early pages parse.
+		if sz, err := s.fs.Stat(path); err == nil && sz%pagecache.PageSize != 0 {
+			s.closeTrees()
+			return fmt.Errorf("lineagestore: open %s: truncated mid-page (%d bytes)", name, sz)
+		}
+		pc, err := pagecache.OpenFS(s.fs, path, s.opts.IndexCachePages)
+		if err == nil {
+			var tree *btree.Tree
+			if tree, err = btree.Open(pc); err == nil {
+				s.pcs[i], *trees[i] = pc, tree
+				continue
+			}
+			pc.Close()
+		}
+		s.closeTrees()
+		return fmt.Errorf("lineagestore: open %s: %w", name, err)
+	}
+	return nil
+}
+
+func (s *Store) closeTrees() {
+	for i := range s.pcs {
+		if s.pcs[i] != nil {
+			s.pcs[i].Close()
+			s.pcs[i] = nil
+		}
+	}
+	s.nodes, s.rels, s.out, s.in = nil, nil, nil, nil
+}
+
+// Wipe discards the on-disk indexes and reopens the store empty. Used for
+// corruption recovery and by owners that rebuild the LineageStore from the
+// TimeStore log after a reopen.
+func (s *Store) Wipe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeTrees()
+	for _, name := range indexFiles {
+		if err := s.fs.Remove(filepath.Join(s.opts.Dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	s.lastTS, s.updateCount = -1, 0
+	return s.openTrees()
+}
+
+// Reset reports whether Open found corrupt index files and wiped them.
+func (s *Store) Reset() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reset
 }
 
 // AppliedThrough returns the newest timestamp the store has absorbed. As

@@ -9,8 +9,9 @@ import (
 	"container/list"
 	"fmt"
 	"io"
-	"os"
 	"sync"
+
+	"aion/internal/vfs"
 )
 
 // PageSize is the fixed page size in bytes.
@@ -84,23 +85,29 @@ type Cache struct {
 	pageCount uint64
 	stats     Stats
 	isFile    bool
+	failed    error // sticky: first writeback/sync error; later writes fail-stop
 }
 
 // Open creates or opens a file-backed cache holding at most capacityPages
 // pages in memory.
 func Open(path string, capacityPages int) (*Cache, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenFS(vfs.OS, path, capacityPages)
+}
+
+// OpenFS is Open on an explicit filesystem.
+func OpenFS(fs vfs.FS, path string, capacityPages int) (*Cache, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("pagecache: open: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("pagecache: stat: %w", err)
 	}
 	c := newCache(f, capacityPages)
 	c.isFile = true
-	c.pageCount = uint64(st.Size()) / PageSize
+	c.pageCount = uint64(size) / PageSize
 	return c, nil
 }
 
@@ -227,6 +234,7 @@ func (c *Cache) evictLocked() error {
 		fr := back.Value.(*frame)
 		if fr.dirty {
 			if _, err := c.backend.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+				c.failed = err
 				return fmt.Errorf("pagecache: writeback page %d: %w", fr.id, err)
 			}
 		}
@@ -238,20 +246,34 @@ func (c *Cache) evictLocked() error {
 }
 
 // Flush writes back all dirty frames (and fsyncs file backends).
+//
+// After any writeback or sync failure the cache fails stop: later Flushes
+// return the original error. A failed fsync may have dropped dirty pages
+// the kernel will never retry, so continuing would persist a tree whose
+// pages are silently inconsistent.
 func (c *Cache) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Cache) flushLocked() error {
+	if c.failed != nil {
+		return fmt.Errorf("pagecache: cache failed: %w", c.failed)
+	}
 	for _, fr := range c.frames {
 		if !fr.dirty {
 			continue
 		}
 		if _, err := c.backend.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+			c.failed = err
 			return fmt.Errorf("pagecache: flush page %d: %w", fr.id, err)
 		}
 		fr.dirty = false
 	}
-	if f, ok := c.backend.(*os.File); ok {
+	if f, ok := c.backend.(interface{ Sync() error }); ok && c.isFile {
 		if err := f.Sync(); err != nil {
+			c.failed = err
 			return fmt.Errorf("pagecache: sync: %w", err)
 		}
 	}
@@ -260,10 +282,11 @@ func (c *Cache) Flush() error {
 
 // Close flushes and closes the backing storage.
 func (c *Cache) Close() error {
-	if err := c.Flush(); err != nil {
-		return err
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		c.backend.Close()
+		return err
+	}
 	return c.backend.Close()
 }

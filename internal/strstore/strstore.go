@@ -9,9 +9,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
+
+	"aion/internal/vfs"
 )
 
 // Ref is a 4-byte reference to an interned string. Per the paper the most
@@ -29,11 +30,14 @@ const MaxRef = 1<<28 - 1
 // serialize on the table. When constructed with a backing file, every new
 // string is appended durably (length-prefixed) so the table can be reloaded.
 type Store struct {
-	mu   sync.Mutex   // serializes interning of new strings and file state
-	byID atomic.Value // []string; append-only, republished on growth
-	ids  sync.Map     // string -> Ref; written once per string
-	w    *bufio.Writer
-	f    *os.File
+	mu       sync.Mutex   // serializes interning of new strings and file state
+	byID     atomic.Value // []string; append-only, republished on growth
+	ids      sync.Map     // string -> Ref; written once per string
+	w        *bufio.Writer
+	f        vfs.File
+	dirty    bool  // unsynced appends outstanding
+	repaired int64 // torn-tail bytes truncated by Open
+	failed   error // sticky: first append/sync error; later writes fail-stop
 }
 
 // NewMem creates an in-memory store with no persistence.
@@ -44,24 +48,37 @@ func NewMem() *Store {
 }
 
 // Open creates or reloads a persistent store backed by the given file.
-func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func Open(path string) (*Store, error) { return OpenFS(vfs.OS, path) }
+
+// OpenFS is Open on an explicit filesystem. Reloading validates the table
+// as it goes: a record whose length prefix or body runs past the end of
+// the file is the torn tail of a crash mid-append, and is truncated away.
+// References are positional, so the table can only be cut at the end —
+// which is exactly what a crash can produce, since appends are sequential.
+func OpenFS(fs vfs.FS, path string) (*Store, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("strstore: open: %w", err)
 	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("strstore: stat: %w", err)
+	}
 	s := &Store{f: f}
-	r := bufio.NewReader(f)
+	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
 	var lenBuf [4]byte
 	var byID []string
-	for {
+	var off int64
+	for off+4 <= size {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
 			f.Close()
 			return nil, fmt.Errorf("strstore: reload: %w", err)
 		}
-		n := binary.LittleEndian.Uint32(lenBuf[:])
+		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if off+4+n > size {
+			break // torn body: a crash cut the append short
+		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(r, b); err != nil {
 			f.Close()
@@ -70,10 +87,29 @@ func Open(path string) (*Store, error) {
 		str := string(b)
 		s.ids.Store(str, Ref(len(byID)))
 		byID = append(byID, str)
+		off += 4 + n
+	}
+	if off < size {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("strstore: tail repair truncate: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("strstore: tail repair sync: %w", err)
+		}
+		s.repaired = size - off
 	}
 	s.byID.Store(byID)
-	s.w = bufio.NewWriter(f)
+	s.w = bufio.NewWriter(&vfs.SeqWriter{F: f, Off: off})
 	return s, nil
+}
+
+// RepairedBytes reports how many torn-tail bytes Open discarded.
+func (st *Store) RepairedBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.repaired
 }
 
 func (st *Store) table() []string {
@@ -94,6 +130,9 @@ func (st *Store) Intern(s string) (Ref, error) {
 	if id, ok := st.ids.Load(s); ok {
 		return id.(Ref), nil
 	}
+	if st.failed != nil {
+		return 0, fmt.Errorf("strstore: store failed: %w", st.failed)
+	}
 	cur := st.table()
 	if len(cur) >= MaxRef {
 		return 0, fmt.Errorf("strstore: table full (%d strings)", len(cur))
@@ -103,11 +142,14 @@ func (st *Store) Intern(s string) (Ref, error) {
 		var lenBuf [4]byte
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
 		if _, err := st.w.Write(lenBuf[:]); err != nil {
+			st.failed = err
 			return 0, fmt.Errorf("strstore: append: %w", err)
 		}
 		if _, err := st.w.WriteString(s); err != nil {
+			st.failed = err
 			return 0, fmt.Errorf("strstore: append: %w", err)
 		}
+		st.dirty = true
 	}
 	// Appends are serialized under mu and concurrent readers never index
 	// past the length of the header they loaded, so appending in place
@@ -141,29 +183,74 @@ func (st *Store) Len() int {
 	return len(st.table())
 }
 
-// Flush writes buffered appends to the backing file.
+// Flush writes buffered appends to the backing file. After any append or
+// sync failure the store fails stop (see Sync).
 func (st *Store) Flush() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.flushLocked()
+}
+
+func (st *Store) flushLocked() error {
 	if st.w == nil {
 		return nil
 	}
-	return st.w.Flush()
+	if st.failed != nil {
+		return fmt.Errorf("strstore: store failed: %w", st.failed)
+	}
+	if err := st.w.Flush(); err != nil {
+		st.failed = err
+		return fmt.Errorf("strstore: flush: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the backing file so every
+// interned string is durable. Callers must Sync the string table before
+// syncing any log whose records hold refs into it — refs are positional,
+// so a log record that outlives its string would dangle after recovery.
+// A no-op when nothing was appended since the last Sync. A failed sync
+// poisons the store: the kernel may have dropped the dirty pages, so later
+// appends would build on data that never became durable.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil || !st.dirty {
+		if st.failed != nil {
+			return fmt.Errorf("strstore: store failed: %w", st.failed)
+		}
+		return nil
+	}
+	if err := st.flushLocked(); err != nil {
+		return err
+	}
+	if err := st.f.Sync(); err != nil {
+		st.failed = err
+		return fmt.Errorf("strstore: sync: %w", err)
+	}
+	st.dirty = false
+	return nil
 }
 
 // Close flushes and closes the backing file, if any.
 func (st *Store) Close() error {
-	if err := st.Flush(); err != nil {
-		return err
-	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.f == nil {
 		return nil
 	}
-	err := st.f.Close()
+	ferr := st.flushLocked()
+	if ferr == nil && st.dirty {
+		if err := st.f.Sync(); err != nil {
+			ferr = fmt.Errorf("strstore: sync: %w", err)
+		}
+	}
+	cerr := st.f.Close()
 	st.f, st.w = nil, nil
-	return err
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
 
 // DiskBytes reports the current byte size of the backing file (0 for

@@ -7,9 +7,12 @@
 package system
 
 import (
+	"fmt"
+
 	"aion/internal/aion"
 	"aion/internal/hostdb"
 	"aion/internal/model"
+	"aion/internal/vfs"
 )
 
 // Options configures a combined system.
@@ -25,6 +28,9 @@ type Options struct {
 	DisableTemporal bool
 	// SyncCommits forwards to hostdb: fsync the txn log per commit.
 	SyncCommits bool
+	// FS is the filesystem both components store on; nil means the real
+	// OS filesystem (used by the crash-recovery tests to inject faults).
+	FS vfs.FS
 }
 
 // System is a host database with Aion attached.
@@ -36,7 +42,8 @@ type System struct {
 // Open creates or reopens a combined system and registers the event
 // listener.
 func Open(opts Options) (*System, error) {
-	host, err := hostdb.Open(hostdb.Options{Dir: opts.Dir, InMemory: opts.InMemoryHost, SyncCommits: opts.SyncCommits})
+	host, err := hostdb.Open(hostdb.Options{Dir: opts.Dir, InMemory: opts.InMemoryHost,
+		SyncCommits: opts.SyncCommits, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -45,6 +52,9 @@ func Open(opts Options) (*System, error) {
 		return s, nil
 	}
 	aopts := opts.Aion
+	if aopts.FS == nil {
+		aopts.FS = opts.FS
+	}
 	if aopts.Dir == "" && opts.Dir != "" {
 		aopts.Dir = opts.Dir + "/aion"
 	}
@@ -53,12 +63,60 @@ func Open(opts Options) (*System, error) {
 		host.Close()
 		return nil, err
 	}
+	if err := s.reconcile(); err != nil {
+		s.Aion.Close()
+		host.Close()
+		return nil, fmt.Errorf("system: reconcile host and temporal store: %w", err)
+	}
 	host.OnCommit(func(ts model.Timestamp, us []model.Update) {
 		// The listener runs in the after-commit phase; an ingestion error
 		// here is surfaced on the next Aion operation via db.Err().
 		_ = s.Aion.ApplyBatch(us)
 	})
 	return s, nil
+}
+
+// reconcile replays onto Aion every transaction the host made durable but
+// Aion had not yet synced when the process stopped. The host's transaction
+// log is the source of truth: Flush syncs it before the temporal store, so
+// after a crash the host is always at or ahead of Aion. The boundary commit
+// needs care — Aion's TimeStore appends per update, so the newest recovered
+// timestamp may cover only a prefix of its commit; the remainder is re-fed.
+func (s *System) reconcile() error {
+	last := s.Aion.LatestTimestamp()
+	have := 0
+	if last > 0 {
+		if ts := s.Aion.TimeStore(); ts != nil {
+			us, err := ts.GetDiff(last, last+1)
+			if err != nil {
+				return err
+			}
+			have = len(us)
+		}
+	}
+	return s.Host.ReplayCommitted(last-1, func(cts model.Timestamp, us []model.Update) error {
+		if cts == last {
+			if have >= len(us) {
+				return nil
+			}
+			us = us[have:]
+		}
+		return s.Aion.ApplyBatch(us)
+	})
+}
+
+// Flush makes the whole system durable: the host first, then Aion, so a
+// crash between the two leaves the host ahead — the state reconcile is
+// built to repair. The reverse order could strand Aion with a commit the
+// host lost.
+func (s *System) Flush() error {
+	if err := s.Host.Flush(); err != nil {
+		return err
+	}
+	if s.Aion != nil {
+		return s.Aion.Flush()
+	}
+	return nil
 }
 
 // Close shuts down both components.

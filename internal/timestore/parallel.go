@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
 	"aion/internal/memgraph"
 	"aion/internal/model"
 	"aion/internal/pool"
+	"aion/internal/vfs"
 	"aion/internal/wal"
 )
 
@@ -74,11 +74,11 @@ func (s *Store) writeSnapshotFile(path string, g *memgraph.Graph) (int64, error)
 // bufio writer in emission order, so the file bytes are identical to the
 // sequential writer's.
 func (s *Store) writeSnapshotFileParallel(path string, g *memgraph.Graph) (int64, error) {
-	f, err := os.Create(path)
+	f, err := s.fs.Create(path)
 	if err != nil {
 		return 0, err
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
+	w := bufio.NewWriterSize(&vfs.SeqWriter{F: f}, 1<<16)
 	var written int64
 	us := g.Export()
 	err = pool.RunOrdered(s.opts.ParallelIO,
@@ -130,6 +130,16 @@ func (s *Store) writeSnapshotFileParallel(path string, g *memgraph.Graph) (int64
 		f.Close()
 		return written, err
 	}
+	// Snapshot records hold string refs: the table must be durable before
+	// the snapshot bytes are.
+	if err := s.codec.Strings.Sync(); err != nil {
+		f.Close()
+		return written, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return written, err
+	}
 	return written, f.Close()
 }
 
@@ -144,12 +154,16 @@ func (s *Store) loadSnapshotFile(path string, ts model.Timestamp) (*memgraph.Gra
 }
 
 func (s *Store) loadSnapshotFileParallel(path string, ts model.Timestamp) (*memgraph.Graph, error) {
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	sr, err := vfs.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(sr, 1<<16)
 	g := memgraph.New()
 	err = pool.RunOrdered(s.opts.ParallelIO,
 		func(emit func(frameBatch) bool) error {

@@ -132,7 +132,7 @@ func TestSnapshotWriteErrorSurfaced(t *testing.T) {
 	dir := t.TempDir()
 	// Block every snapshot path any policy trigger could pick.
 	for ts := model.Timestamp(0); ts <= us[len(us)-1].TS; ts++ {
-		p := filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", uint64(ts)))
+		p := filepath.Join(dir, snapFileName(ts, 0))
 		if err := os.Mkdir(p, 0o755); err != nil {
 			t.Fatal(err)
 		}

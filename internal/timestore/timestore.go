@@ -16,6 +16,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +29,7 @@ import (
 	"aion/internal/model"
 	"aion/internal/pagecache"
 	"aion/internal/pool"
+	"aion/internal/vfs"
 	"aion/internal/wal"
 )
 
@@ -50,6 +54,9 @@ type Options struct {
 	// are identical to the pre-pipeline implementation (so paper-
 	// reproduction benches stay comparable).
 	ParallelIO int
+	// FS is the filesystem the store persists through. nil means the real
+	// OS filesystem; crash tests substitute a vfs.FaultFS.
+	FS vfs.FS
 }
 
 func (o *Options) defaults() {
@@ -73,6 +80,7 @@ func (o *Options) defaults() {
 type Store struct {
 	mu    sync.Mutex
 	opts  Options
+	fs    vfs.FS
 	codec *enc.Codec
 	log   *wal.Log
 	// timeIdx maps KeyTS(ts, seq) -> log offset.
@@ -104,9 +112,19 @@ type Store struct {
 	// Asynchronous snapshot pipeline: policy-triggered snapshots are
 	// serialized off the commit path by a background worker (Sec 5.1:
 	// "background workers ... insert new snapshots into the GraphStore").
-	snapCh     chan *memgraph.Graph
+	snapCh     chan snapJob
 	snapWG     sync.WaitGroup
 	workerDone chan struct{}
+}
+
+// snapJob carries a CoW graph clone to the snapshot worker together with
+// the sequence number of the last update it contains, so the snapshot
+// filename can identify the exact log position — (timestamp, seq) — the
+// snapshot covers through. Timestamps alone are ambiguous: more updates at
+// the same timestamp may land after the snapshot is scheduled.
+type snapJob struct {
+	g   *memgraph.Graph
+	seq uint32
 }
 
 // Open creates or reopens a TimeStore in opts.Dir using the shared codec.
@@ -115,18 +133,34 @@ type Store struct {
 // from the last persisted state).
 func Open(codec *enc.Codec, opts Options) (*Store, error) {
 	opts.defaults()
+	fs := vfs.OrOS(opts.FS)
 	if opts.Dir == "" {
-		dir, err := os.MkdirTemp("", "aion-timestore-*")
-		if err != nil {
-			return nil, err
+		if opts.FS != nil {
+			opts.Dir = "timestore"
+		} else {
+			dir, err := os.MkdirTemp("", "aion-timestore-*")
+			if err != nil {
+				return nil, err
+			}
+			opts.Dir = dir
 		}
-		opts.Dir = dir
 	}
-	log, err := wal.Open(filepath.Join(opts.Dir, "updates.log"))
+	log, err := wal.OpenFS(fs, filepath.Join(opts.Dir, "updates.log"))
 	if err != nil {
 		return nil, err
 	}
-	idxCache, err := pagecache.Open(filepath.Join(opts.Dir, "time.idx"), opts.IndexCachePages)
+	// Both indexes are fully derivable — recover() replays the whole log
+	// (re-putting every time-index entry) and snapshot filenames carry
+	// their timestamps — so they are rebuilt from scratch on every open.
+	// That costs nothing beyond the replay recovery already does, and it
+	// means a torn index page (the page cache writes in place, with no
+	// write-ahead protection of its own) can never poison recovery.
+	for _, name := range []string{"time.idx", "snap.idx"} {
+		if rerr := fs.Remove(filepath.Join(opts.Dir, name)); rerr != nil && !os.IsNotExist(rerr) {
+			return nil, fmt.Errorf("timestore: reset index %s: %w", name, rerr)
+		}
+	}
+	idxCache, err := pagecache.OpenFS(fs, filepath.Join(opts.Dir, "time.idx"), opts.IndexCachePages)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +168,7 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	snapCache, err := pagecache.Open(filepath.Join(opts.Dir, "snap.idx"), 64)
+	snapCache, err := pagecache.OpenFS(fs, filepath.Join(opts.Dir, "snap.idx"), 64)
 	if err != nil {
 		return nil, err
 	}
@@ -144,17 +178,24 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		opts:       opts,
+		fs:         fs,
 		codec:      codec,
 		log:        log,
 		timeIdx:    timeIdx,
 		snapIdx:    snapIdx,
 		gs:         graphstore.New(opts.GraphStoreBytes),
-		snapCh:     make(chan *memgraph.Graph, 2),
+		snapCh:     make(chan snapJob, 2),
 		workerDone: make(chan struct{}),
 		framePool:  pool.NewBytes(frameBatchBytes + 4096),
 	}
 	if err := s.recover(); err != nil {
 		return nil, fmt.Errorf("timestore: recover: %w", err)
+	}
+	// Make the directory entries of everything Open created (the log, the
+	// rebuilt index files) and recover deleted (tmps, orphan snapshots)
+	// durable: fsyncing a file's contents does not persist its name.
+	if err := fs.SyncDir(opts.Dir); err != nil {
+		return nil, fmt.Errorf("timestore: sync dir: %w", err)
 	}
 	go s.snapshotWorker()
 	return s, nil
@@ -163,8 +204,8 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 // snapshotWorker serializes policy-triggered snapshots in the background.
 func (s *Store) snapshotWorker() {
 	defer close(s.workerDone)
-	for g := range s.snapCh {
-		s.persistSnapshot(g)
+	for j := range s.snapCh {
+		s.persistSnapshot(j.g, j.seq)
 		s.snapWG.Done()
 	}
 }
@@ -173,14 +214,14 @@ func (s *Store) snapshotWorker() {
 // take s.mu: a bulk AppendBatch holds that lock for its whole batch, and
 // snapshots must keep landing concurrently (the index and the GraphStore
 // have their own locks; the counter is atomic).
-func (s *Store) persistSnapshot(g *memgraph.Graph) {
+func (s *Store) persistSnapshot(g *memgraph.Graph, seq uint32) {
 	ts := g.Timestamp()
-	path := filepath.Join(s.opts.Dir, fmt.Sprintf("snap-%016x.snap", uint64(ts)))
+	path := filepath.Join(s.opts.Dir, snapFileName(ts, seq))
 	var replaced int64
-	if st, err := os.Stat(path); err == nil {
-		replaced = st.Size() // re-snapshot at the same ts overwrites the file
+	if sz, err := s.fs.Stat(path); err == nil {
+		replaced = sz // re-snapshot at the same ts overwrites the file
 	}
-	n, err := s.writeSnapshotFile(path, g)
+	n, err := s.writeSnapshotAtomic(path, g)
 	if err != nil {
 		// Snapshot loss is tolerable (the log still covers the range), but
 		// never silent: the failure is counted and surfaced through Stats.
@@ -204,67 +245,163 @@ func (s *Store) recordSnapshotError(err error) {
 	s.lastSnapErr.Store(err.Error())
 }
 
-// recover rebuilds the latest in-memory graph: load the newest snapshot (if
-// any) and replay the log tail past it.
+// snapFileName names a snapshot by the (timestamp, sequence) pair of the
+// last update it contains; the name alone lets recovery place the snapshot
+// exactly in the update stream without trusting any index.
+func snapFileName(ts model.Timestamp, seq uint32) string {
+	return fmt.Sprintf("snap-%016x-%08x.snap", uint64(ts), seq)
+}
+
+// parseSnapName extracts (ts, seq) from a snapFileName-formatted filename.
+func parseSnapName(name string) (model.Timestamp, uint32, bool) {
+	const pre, suf = "snap-", ".snap"
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, 0, false
+	}
+	mid := name[len(pre) : len(name)-len(suf)]
+	if len(mid) != 16+1+8 || mid[16] != '-' {
+		return 0, 0, false
+	}
+	ts, err := strconv.ParseUint(mid[:16], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	seq, err := strconv.ParseUint(mid[17:], 16, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	return model.Timestamp(ts), uint32(seq), true
+}
+
+// recover rebuilds all derived state from the two sources of truth a crash
+// cannot corrupt: the tail-repaired log and the set of fully-renamed
+// snapshot files (whose names carry their timestamps). Leftover *.tmp files
+// from a crash mid-snapshot are removed; a snapshot whose timestamp is
+// ahead of the recovered log — persisted by the background worker before
+// the covering log bytes were ever fsynced — is deleted, because keeping it
+// would resurrect updates that were never durably logged. The newest
+// surviving snapshot seeds the latest in-memory graph and the log tail past
+// it is replayed on top, rebuilding the time index as it goes.
 func (s *Store) recover() (err error) {
-	var snapTS model.Timestamp = -1
-	var snapPath string
-	var snapBytes int64
-	// Find the newest snapshot; while scanning, seed the running
-	// snapshot-footprint counter (the only time snapshot files are stat'ed).
-	err = s.snapIdx.Scan(nil, nil, func(k, v []byte) bool {
-		snapTS = model.Timestamp(binary.BigEndian.Uint64(k))
-		snapPath = string(v)
-		if st, serr := os.Stat(snapPath); serr == nil {
-			snapBytes += st.Size()
-		}
-		return true
-	})
+	names, err := s.fs.ReadDir(s.opts.Dir)
 	if err != nil {
 		return err
 	}
-	s.snapshotBytes.Store(snapBytes)
-	latest := memgraph.New()
-	if snapPath != "" {
-		latest, err = s.loadSnapshotFile(snapPath, snapTS)
+	type snapInfo struct {
+		ts   model.Timestamp
+		seq  uint32
+		path string
+	}
+	var snaps []snapInfo
+	for _, name := range names {
+		full := filepath.Join(s.opts.Dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			if rerr := s.fs.Remove(full); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if ts, seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, snapInfo{ts: ts, seq: seq, path: full})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].ts != snaps[j].ts {
+			return snaps[i].ts < snaps[j].ts
+		}
+		return snaps[i].seq < snaps[j].seq
+	})
+
+	for {
+		baseTS := model.Timestamp(-1)
+		baseSeq := uint32(0)
+		basePath := ""
+		if len(snaps) > 0 {
+			baseTS = snaps[len(snaps)-1].ts
+			baseSeq = snaps[len(snaps)-1].seq
+			basePath = snaps[len(snaps)-1].path
+		}
+		latest := memgraph.New()
+		if basePath != "" {
+			latest, err = s.loadSnapshotFile(basePath, baseTS)
+			if err != nil {
+				return err
+			}
+		}
+		// Replay the whole log: every record re-puts its time-index entry
+		// (idempotent across retries) and records past the snapshot's exact
+		// (ts, seq) position advance the latest graph — timestamps alone
+		// cannot place a snapshot, since more updates at the same timestamp
+		// may follow it in the log. Decoding runs through the same worker
+		// stage as query replay, so reopening a large store scales with cores.
+		s.lastTS, s.seq, s.updateCount = 0, 0, 0
+		var replayErr error
+		err = s.replayLog(0, func(off int64, u model.Update) bool {
+			s.updateCount++
+			if u.TS == s.lastTS && s.updateCount > 1 {
+				s.seq++
+			} else {
+				s.lastTS, s.seq = u.TS, 0
+			}
+			if perr := s.timeIdx.Put(enc.KeyTS(u.TS, s.seq), enc.U64Value(uint64(off))); perr != nil {
+				replayErr = perr
+				return false
+			}
+			if u.TS > baseTS || (u.TS == baseTS && s.seq > baseSeq) {
+				if aerr := latest.Apply(u); aerr != nil {
+					replayErr = aerr
+					return false
+				}
+			}
+			return true
+		})
+		if err == nil {
+			err = replayErr
+		}
 		if err != nil {
 			return err
 		}
-		s.lastSnapTS = snapTS
-	}
-	// Replay log records after the snapshot timestamp, decoding the tail
-	// through the same worker stage as query replay (reopen of a large
-	// store scales with cores). Index entries are re-put idempotently,
-	// which also repairs a time index that was not flushed before a crash.
-	var replayErr error
-	err = s.replayLog(0, func(off int64, u model.Update) bool {
-		s.updateCount++
-		if u.TS == s.lastTS && s.updateCount > 1 {
-			s.seq++
-		} else {
-			s.lastTS, s.seq = u.TS, 0
+		recoveredTS := model.Timestamp(-1)
+		if s.updateCount > 0 {
+			recoveredTS = s.lastTS
 		}
-		if perr := s.timeIdx.Put(enc.KeyTS(u.TS, s.seq), enc.U64Value(uint64(off))); perr != nil {
-			replayErr = perr
-			return false
+		if baseTS > recoveredTS || (baseTS == recoveredTS && baseTS >= 0 && baseSeq > s.seq) {
+			// Snapshot ahead of the durable log: drop it and retry with the
+			// next-newest one.
+			if rerr := s.fs.Remove(basePath); rerr != nil {
+				return rerr
+			}
+			snaps = snaps[:len(snaps)-1]
+			continue
 		}
-		if u.TS > snapTS {
-			if aerr := latest.Apply(u); aerr != nil {
-				replayErr = aerr
-				return false
+		// Register the surviving snapshots in the rebuilt snapshot index and
+		// seed the running footprint counter (the only time snapshot files
+		// are stat'ed). A snapshot superseded by a later one at the same
+		// timestamp is garbage — its file is removed here.
+		var snapBytes int64
+		for i, sn := range snaps {
+			if i+1 < len(snaps) && snaps[i+1].ts == sn.ts {
+				if rerr := s.fs.Remove(sn.path); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if perr := s.snapIdx.Put(enc.KeyTSPrefix(sn.ts), []byte(sn.path)); perr != nil {
+				return perr
+			}
+			if sz, serr := s.fs.Stat(sn.path); serr == nil {
+				snapBytes += sz
 			}
 		}
-		return true
-	})
-	if err == nil {
-		err = replayErr
+		s.snapshotBytes.Store(snapBytes)
+		if baseTS >= 0 {
+			s.lastSnapTS = baseTS
+		}
+		// Install the recovered graph as the GraphStore's latest (cheaper
+		// than re-applying every update through the store).
+		s.gs = graphstore.NewWithLatest(s.opts.GraphStoreBytes, latest)
+		break
 	}
-	if err != nil {
-		return err
-	}
-	// Install the recovered graph as the GraphStore's latest (cheaper than
-	// re-applying every update through the store).
-	s.gs = graphstore.NewWithLatest(s.opts.GraphStoreBytes, latest)
 	return nil
 }
 
@@ -344,7 +481,7 @@ func (s *Store) scheduleSnapshotLocked() {
 	s.opsSinceSnap = 0
 	s.lastSnapTS = g.Timestamp()
 	s.snapWG.Add(1)
-	s.snapCh <- g // cannot block: single producer under s.mu saw room
+	s.snapCh <- snapJob{g: g, seq: s.seq} // cannot block: single producer under s.mu saw room
 }
 
 // WaitSnapshots blocks until all in-flight background snapshots are
@@ -361,12 +498,12 @@ func (s *Store) CreateSnapshot() error {
 func (s *Store) createSnapshotLocked() error {
 	g := s.gs.Latest()
 	ts := g.Timestamp()
-	path := filepath.Join(s.opts.Dir, fmt.Sprintf("snap-%016x.snap", uint64(ts)))
+	path := filepath.Join(s.opts.Dir, snapFileName(ts, s.seq))
 	var replaced int64
-	if st, err := os.Stat(path); err == nil {
-		replaced = st.Size()
+	if sz, err := s.fs.Stat(path); err == nil {
+		replaced = sz
 	}
-	n, err := s.writeSnapshotFile(path, g)
+	n, err := s.writeSnapshotAtomic(path, g)
 	if err != nil {
 		s.recordSnapshotError(err)
 		return err
@@ -383,16 +520,39 @@ func (s *Store) createSnapshotLocked() error {
 	return nil
 }
 
+// writeSnapshotAtomic persists a snapshot with the atomic-replace protocol:
+// write to path+".tmp", fsync the file, rename over the final name, fsync
+// the directory. A crash at any point leaves either the complete previous
+// snapshot set (leftover tmps are removed by recover) or the complete new
+// snapshot — never a half-written file under a live name.
+func (s *Store) writeSnapshotAtomic(path string, g *memgraph.Graph) (int64, error) {
+	tmp := path + ".tmp"
+	n, err := s.writeSnapshotFile(tmp, g)
+	if err != nil {
+		_ = s.fs.Remove(tmp)
+		return 0, err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
+		return 0, err
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
 // writeSnapshotFileSeq is the single-threaded snapshot writer (the
 // ParallelIO=1 path): a framed sequence of insertion updates in the Fig 3
 // record format. The parallel writer in parallel.go produces byte-identical
-// files; this loop is the reference implementation.
+// files; this loop is the reference implementation. The file is fsynced
+// before close so writeSnapshotAtomic's rename only publishes durable bytes.
 func (s *Store) writeSnapshotFileSeq(path string, g *memgraph.Graph) (int64, error) {
-	f, err := os.Create(path)
+	f, err := s.fs.Create(path)
 	if err != nil {
 		return 0, err
 	}
-	w := bufio.NewWriterSize(f, 1<<16)
+	w := bufio.NewWriterSize(&vfs.SeqWriter{F: f}, 1<<16)
 	var written int64
 	var hdr [8]byte
 	buf := make([]byte, 0, 256)
@@ -419,16 +579,30 @@ func (s *Store) writeSnapshotFileSeq(path string, g *memgraph.Graph) (int64, err
 		f.Close()
 		return written, err
 	}
+	// Snapshot records hold string refs: the table must be durable before
+	// the snapshot bytes are.
+	if err := s.codec.Strings.Sync(); err != nil {
+		f.Close()
+		return written, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return written, err
+	}
 	return written, f.Close()
 }
 
 func (s *Store) loadSnapshotFileSeq(path string, ts model.Timestamp) (*memgraph.Graph, error) {
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	sr, err := vfs.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(sr, 1<<16)
 	g := memgraph.New()
 	var hdr [8]byte
 	for {
@@ -512,6 +686,9 @@ func (s *Store) LatestTimestamp() model.Timestamp {
 func (s *Store) GraphStore() *graphstore.Store { return s.gs }
 
 // Flush persists indexes and the log, after draining in-flight snapshots.
+// The string table is synced before the log: log records hold positional
+// refs into it, so a log byte must never become durable ahead of the
+// strings it references.
 func (s *Store) Flush() error {
 	s.snapWG.Wait()
 	if err := s.timeIdx.Flush(); err != nil {
@@ -520,18 +697,24 @@ func (s *Store) Flush() error {
 	if err := s.snapIdx.Flush(); err != nil {
 		return err
 	}
+	if err := s.codec.Strings.Sync(); err != nil {
+		return err
+	}
 	return s.log.Sync()
 }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store. The background snapshot worker is
+// reaped even when the flush fails (e.g. on a failed filesystem), so Close
+// never leaks the goroutine.
 func (s *Store) Close() error {
-	if err := s.Flush(); err != nil {
-		return err
-	}
+	ferr := s.Flush()
 	if s.snapCh != nil {
 		close(s.snapCh)
 		<-s.workerDone
 		s.snapCh = nil
+	}
+	if ferr != nil {
+		return ferr
 	}
 	return s.log.Close()
 }

@@ -1,0 +1,186 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the passthrough: write, sync, reopen, read,
+// rename, dir listing.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dat")
+	f, err := OS.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := OS.Stat(path); err != nil || n != 5 {
+		t.Fatalf("stat: %d %v", n, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.dat")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := OS.ReadDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "b.dat" {
+		t.Fatalf("readdir: %v %v", names, err)
+	}
+	g, err := OS.Open(filepath.Join(dir, "b.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("read: %q %v", buf, err)
+	}
+	if _, err := OS.Stat(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+		t.Fatalf("missing stat err = %v", err)
+	}
+}
+
+// TestFaultFSCrashDiscardsUnsynced: synced bytes survive a crash, unsynced
+// bytes do not.
+func TestFaultFSCrashDiscardsUnsynced(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("d/x")
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("-lost"), 7)
+	fs.Crash()
+	if _, err := f.WriteAt([]byte("x"), 0); err == nil {
+		t.Error("stale handle must fail after crash")
+	}
+	g, err := fs.Open("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := g.Size(); n != 7 {
+		t.Fatalf("size after crash = %d, want 7 (unsynced tail discarded)", n)
+	}
+}
+
+// TestFaultFSNamespaceDurability: a file created but never dir-synced
+// vanishes on crash; a rename is durable only after SyncDir.
+func TestFaultFSNamespaceDurability(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("d/tmp")
+	f.WriteAt([]byte("abc"), 0)
+	f.Sync()
+	fs.Crash()
+	if _, err := fs.Open("d/tmp"); !os.IsNotExist(err) {
+		t.Fatalf("never-dir-synced file must vanish, got %v", err)
+	}
+
+	// tmp+rename+syncdir is atomic: crash after the syncdir keeps the
+	// final name with the synced content.
+	f, _ = fs.OpenFile("d/snap.tmp")
+	f.WriteAt([]byte("snapshot"), 0)
+	f.Sync()
+	if err := fs.Rename("d/snap.tmp", "d/snap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if _, err := fs.Open("d/snap.tmp"); !os.IsNotExist(err) {
+		t.Fatal("old name must be gone after dir-synced rename")
+	}
+	g, err := fs.Open("d/snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "snapshot" {
+		t.Fatalf("renamed content: %q %v", buf, err)
+	}
+}
+
+// TestFaultFSFailAfter: the armed op and all later mutating ops fail;
+// reads keep working.
+func TestFaultFSFailAfter(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("d/x") // op 1 (creation)
+	fs.SetFailAfter(3)
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrInjected) { // op 3
+		t.Fatalf("op 3 must fail injected, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 4: sticky
+		t.Fatalf("later ops must stay failed, got %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("reads must survive the fault: %v", err)
+	}
+}
+
+// TestFaultFSTornSync: a failing sync with torn mode persists a strict
+// prefix of the pending writes.
+func TestFaultFSTornSync(t *testing.T) {
+	fs := NewFaultFS()
+	fs.SetTornSync(true)
+	f, _ := fs.OpenFile("d/x") // op 1
+	fs.SyncDir("d")            // op 2: name durable
+	// Four pending writes of 4 bytes each.
+	for i := 0; i < 4; i++ { // ops 3-6
+		if _, err := f.WriteAt([]byte{byte(i), byte(i), byte(i), byte(i)}, int64(4*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFailAfter(7)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 7: torn
+		t.Fatalf("sync must fail, got %v", err)
+	}
+	fs.Crash()
+	g, err := fs.Open("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Size()
+	// Half the writes (2 of 4) fully applied plus half of the next: 10 bytes.
+	if n != 10 {
+		t.Fatalf("torn sync persisted %d bytes, want 10", n)
+	}
+}
+
+// TestFaultFSOpsDeterministic: the same workload produces the same op
+// count, the property the sweep harness relies on.
+func TestFaultFSOpsDeterministic(t *testing.T) {
+	run := func() int64 {
+		fs := NewFaultFS()
+		f, _ := fs.OpenFile("d/x")
+		for i := 0; i < 10; i++ {
+			f.WriteAt([]byte("abc"), int64(3*i))
+		}
+		f.Sync()
+		fs.Rename("d/x", "d/y")
+		fs.SyncDir("d")
+		return fs.Ops()
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a, b)
+	}
+}

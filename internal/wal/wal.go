@@ -8,38 +8,91 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+
+	"aion/internal/vfs"
 )
 
 // recordHeaderSize is the per-record framing: length (4) + CRC32 (4).
 const recordHeaderSize = 8
 
+// ErrCorrupt marks records that fail framing validation (truncated tail or
+// checksum mismatch), as opposed to I/O errors from the filesystem.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
 // Log is an append-only record log. Appends are serialized; reads may run
 // concurrently with appends.
 type Log struct {
 	mu       sync.RWMutex
-	f        *os.File
+	f        vfs.File
 	size     int64 // next append offset
 	path     string
 	writeBuf []byte // reused append scratch, guarded by mu
+	repaired int64  // torn-tail bytes truncated by Open
+	failed   error  // sticky: first append/sync I/O error; later writes fail-stop
 }
 
-// Open creates or opens the log at path.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// Open creates or opens the log at path on the real filesystem.
+func Open(path string) (*Log, error) { return OpenFS(vfs.OS, path) }
+
+// OpenFS creates or opens the log at path on fs. Opening validates the
+// log's tail: records are walked front to back (length + CRC), and any
+// trailing bytes that do not form a complete valid record — the torn tail
+// a crash mid-append or mid-fsync leaves behind — are truncated, so a
+// half-written record can never sit under later appends and poison a
+// future scan. The durable contract is therefore: everything before the
+// last synced, fully-framed record survives; a torn tail is discarded.
+func OpenFS(fs vfs.FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
-	return &Log{f: f, size: st.Size(), path: path}, nil
+	l := &Log{f: f, size: size, path: path}
+	if err := l.repairTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// repairTail walks the whole log validating framing and truncates
+// everything from the first invalid record on. Only framing errors
+// (ErrCorrupt) trigger repair; I/O errors abort the open.
+func (l *Log) repairTail() error {
+	validEnd, err := l.ScanBatch(0, 0, func([]Frame) bool { return true })
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return fmt.Errorf("wal: tail validation: %w", err)
+	}
+	if terr := l.f.Truncate(validEnd); terr != nil {
+		return fmt.Errorf("wal: tail repair truncate: %w", terr)
+	}
+	if serr := l.f.Sync(); serr != nil {
+		return fmt.Errorf("wal: tail repair sync: %w", serr)
+	}
+	l.repaired = l.size - validEnd
+	l.size = validEnd
+	return nil
+}
+
+// RepairedBytes reports how many torn-tail bytes Open discarded (0 on a
+// clean log).
+func (l *Log) RepairedBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.repaired
 }
 
 // OpenTemp opens a log on a fresh temporary file under dir (or the system
@@ -49,14 +102,35 @@ func OpenTemp(dir string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: temp: %w", err)
 	}
-	return &Log{f: f, path: f.Name()}, nil
+	return &Log{f: osTempFile{f}, path: f.Name()}, nil
+}
+
+// osTempFile adapts the CreateTemp handle to vfs.File.
+type osTempFile struct{ *os.File }
+
+func (f osTempFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
 }
 
 // Append writes one record and returns its offset. Header and payload go
 // out in a single write to keep the per-update ingestion cost low.
+//
+// After any append or sync I/O failure the log fails stop: every later
+// Append and Sync returns the original error. A write that failed may have
+// left a torn record on disk, and an fsync that failed may have dropped
+// dirty pages (the kernel clears the error state after reporting it once),
+// so continuing to append would silently build on data that never became —
+// and may never become — durable.
 func (l *Log) Append(payload []byte) (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
 	if cap(l.writeBuf) < recordHeaderSize+len(payload) {
 		l.writeBuf = make([]byte, recordHeaderSize+len(payload))
 	}
@@ -66,6 +140,7 @@ func (l *Log) Append(payload []byte) (int64, error) {
 	copy(buf[recordHeaderSize:], payload)
 	off := l.size
 	if _, err := l.f.WriteAt(buf, off); err != nil {
+		l.failed = err
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size = off + int64(len(buf))
@@ -92,14 +167,14 @@ func (l *Log) readAt(off int64) (payload []byte, next int64, err error) {
 	n := int64(binary.LittleEndian.Uint32(hdr[:4]))
 	sum := binary.LittleEndian.Uint32(hdr[4:])
 	if off+recordHeaderSize+n > size {
-		return nil, 0, fmt.Errorf("wal: truncated record at %d", off)
+		return nil, 0, fmt.Errorf("%w: truncated record at %d", ErrCorrupt, off)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(io.NewSectionReader(l.f, off+recordHeaderSize, n), payload); err != nil {
 		return nil, 0, fmt.Errorf("wal: read payload: %w", err)
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, 0, fmt.Errorf("wal: checksum mismatch at %d", off)
+		return nil, 0, fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, off)
 	}
 	return payload, off + recordHeaderSize + n, nil
 }
@@ -171,7 +246,7 @@ func (l *Log) ScanBatch(from int64, readahead int, fn func(frames []Frame) bool)
 			sum := binary.LittleEndian.Uint32(chunk[pos+4:])
 			recEnd := pos + recordHeaderSize + plen
 			if off+int64(recEnd) > end {
-				parseErr = fmt.Errorf("wal: truncated record at %d", off+int64(pos))
+				parseErr = fmt.Errorf("%w: truncated record at %d", ErrCorrupt, off+int64(pos))
 				break
 			}
 			if recEnd > len(chunk) {
@@ -179,7 +254,7 @@ func (l *Log) ScanBatch(from int64, readahead int, fn func(frames []Frame) bool)
 			}
 			payload := chunk[pos+recordHeaderSize : recEnd]
 			if crc32.ChecksumIEEE(payload) != sum {
-				parseErr = fmt.Errorf("wal: checksum mismatch at %d", off+int64(pos))
+				parseErr = fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, off+int64(pos))
 				break
 			}
 			frames = append(frames, Frame{Off: off + int64(pos), Payload: payload})
@@ -187,7 +262,8 @@ func (l *Log) ScanBatch(from int64, readahead int, fn func(frames []Frame) bool)
 		}
 		if pos == 0 && parseErr == nil {
 			if len(chunk) < recordHeaderSize {
-				return off, fmt.Errorf("wal: truncated record at %d", off)
+				// A tail fragment smaller than a record header: torn write.
+				return off, fmt.Errorf("%w: truncated record at %d", ErrCorrupt, off)
 			}
 			// A single record larger than the buffer: grow to fit it.
 			plen := int(binary.LittleEndian.Uint32(chunk))
@@ -215,11 +291,19 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Sync flushes the log to stable storage.
+// Sync flushes the log to stable storage. A failed sync poisons the log
+// (see Append): the bytes it covered may be gone.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Sync()
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
 }
 
 // Path returns the log's file path.

@@ -1,11 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"aion/internal/vfs"
 )
 
 func openLog(t *testing.T) *Log {
@@ -259,63 +262,194 @@ func TestScanBatchEarlyStop(t *testing.T) {
 	}
 }
 
+// corruptOnDisk mutates the log's backing file through a second OS handle
+// while the Log stays open, simulating bit rot under a live reader (Open
+// itself would repair the tail away).
+func corruptOnDisk(t *testing.T, path string, fn func(b []byte) []byte) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestScanBatchCorruption flips a byte mid-log and verifies the batch scan
 // surfaces a checksum error while still delivering the records before it.
 func TestScanBatchCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
 	l, _ := Open(path)
+	defer l.Close()
 	var offs []int64
 	for i := 0; i < 20; i++ {
 		off, _ := l.Append([]byte{byte(i), byte(i), byte(i)})
 		offs = append(offs, off)
 	}
-	l.Close()
-	b, _ := os.ReadFile(path)
-	b[offs[10]+recordHeaderSize] ^= 0xFF // corrupt record 10's payload
-	os.WriteFile(path, b, 0o644)
+	corruptOnDisk(t, path, func(b []byte) []byte {
+		b[offs[10]+recordHeaderSize] ^= 0xFF // corrupt record 10's payload
+		return b
+	})
 
-	l2, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l2.Close()
 	n := 0
-	_, err = l2.ScanBatch(0, 0, func(frames []Frame) bool { n += len(frames); return true })
+	_, err := l.ScanBatch(0, 0, func(frames []Frame) bool { n += len(frames); return true })
 	if err == nil {
 		t.Fatal("corrupted record must fail the batch scan")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corruption must surface ErrCorrupt, got %v", err)
 	}
 	if n != 10 {
 		t.Errorf("delivered %d records before the corruption, want 10", n)
 	}
 	// A scan that stops before the corruption must not see the error.
 	n = 0
-	_, err = l2.ScanBatch(0, 0, func(frames []Frame) bool { n += len(frames); return false })
+	_, err = l.ScanBatch(0, 0, func(frames []Frame) bool { n += len(frames); return false })
 	if err != nil {
 		t.Errorf("scan stopping before the bad record must not error: %v", err)
 	}
 }
 
-// TestScanBatchTruncated chops the log mid-record; the batch scan must
-// detect the torn tail.
+// TestScanBatchTruncated chops the log mid-record under a live Log; the
+// batch scan must detect the torn tail.
 func TestScanBatchTruncated(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
 	l, _ := Open(path)
+	defer l.Close()
 	for i := 0; i < 10; i++ {
 		l.Append([]byte("payload-payload"))
 	}
-	l.Close()
-	b, _ := os.ReadFile(path)
-	os.WriteFile(path, b[:len(b)-5], 0o644)
+	// Truncate on disk but leave l.size stale, the window a crash exposes.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(l.Size() - 5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := l.ScanBatch(0, 0, func(frames []Frame) bool { return true }); err == nil {
+		t.Error("torn tail must surface an error")
+	}
+}
 
+// TestOpenRepairsTornTail is the satellite regression: a half-written
+// record at the tail is truncated by Open, and the log accepts appends and
+// scans cleanly afterwards.
+func TestOpenRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, _ := Open(path)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := l.Size()
+	l.Close()
+
+	// Simulate a torn append: header + half the payload of an 11th record.
+	b, _ := os.ReadFile(path)
+	torn := make([]byte, recordHeaderSize+3)
+	torn[0] = 6 // claims a 6-byte payload; only 3 bytes follow
+	os.WriteFile(path, append(b, torn...), 0o644)
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open must repair the torn tail, got %v", err)
+	}
+	defer l2.Close()
+	if l2.RepairedBytes() != int64(len(torn)) {
+		t.Errorf("repaired %d bytes, want %d", l2.RepairedBytes(), len(torn))
+	}
+	if l2.Size() != goodSize {
+		t.Errorf("size after repair = %d, want %d", l2.Size(), goodSize)
+	}
+	if _, err := l2.Append([]byte("rec-10")); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if _, err := l2.Scan(0, func(off int64, p []byte) bool { n++; return true }); err != nil {
+		t.Fatalf("scan after repair: %v", err)
+	}
+	if n != 11 {
+		t.Errorf("scanned %d records after repair+append, want 11", n)
+	}
+}
+
+// TestOpenRepairsCorruptMidLog: a checksum-corrupt record mid-log truncates
+// everything from that record on (we cannot trust anything past the first
+// bad frame).
+func TestOpenRepairsCorruptMidLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, _ := Open(path)
+	var offs []int64
+	for i := 0; i < 8; i++ {
+		off, _ := l.Append([]byte{byte(i), byte(i)})
+		offs = append(offs, off)
+	}
+	l.Close()
+	corruptOnDisk(t, path, func(b []byte) []byte {
+		b[offs[5]+recordHeaderSize] ^= 0xFF
+		return b
+	})
 	l2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	if _, err := l2.ScanBatch(0, 0, func(frames []Frame) bool { return true }); err == nil {
-		t.Error("torn tail must surface an error")
+	if l2.Size() != offs[5] {
+		t.Errorf("size after repair = %d, want %d", l2.Size(), offs[5])
+	}
+	n := 0
+	l2.Scan(0, func(off int64, p []byte) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("scanned %d records, want 5", n)
+	}
+}
+
+// TestSyncFailStop: after an injected fsync failure every later Append and
+// Sync returns the original error instead of silently succeeding.
+func TestSyncFailStop(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	l, err := OpenFS(fs, "d/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFailAfter(fs.Ops() + 1)
+	if err := l.Sync(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("sync must surface the injected error, got %v", err)
+	}
+	fs.SetFailAfter(0) // disk "recovers" — the log must not
+	if _, err := l.Append([]byte("b")); err == nil {
+		t.Error("append after failed sync must fail-stop")
+	}
+	if err := l.Sync(); err == nil {
+		t.Error("sync after failed sync must fail-stop")
+	}
+}
+
+// TestAppendFailStop: a failed write poisons the log the same way.
+func TestAppendFailStop(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	l, err := OpenFS(fs, "d/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFailAfter(fs.Ops() + 1)
+	if _, err := l.Append([]byte("a")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append must surface the injected error, got %v", err)
+	}
+	fs.SetFailAfter(0)
+	if _, err := l.Append([]byte("b")); err == nil {
+		t.Error("append after failed append must fail-stop")
 	}
 }
 
