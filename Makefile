@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke stress
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ vet:
 # the pipeline wiring without a full benchmark run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SnapshotLoad|GetGraph$$' -benchtime 1x ./internal/timestore/
+
+# Concurrent serving-path stress under the race detector: mixed
+# reader/writer bolt clients against an undersized admission limit, plus the
+# engine-level writer/reader mix and the cancellation suite.
+stress:
+	$(GO) test -race -count=2 -run 'Stress|Concurrent|Cancel|Deadline|Overload|Drain|Panic' ./internal/bolt/ ./internal/cypher/
 
 # A short run of the record-decoder fuzzer (recovery feeds it torn log
 # tails): long enough to exercise the mutator, short enough for CI.

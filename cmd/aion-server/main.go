@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"aion/internal/bolt"
 	"aion/internal/cypher"
@@ -22,8 +23,11 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7687", "listen address")
-		dir  = flag.String("dir", "", "storage directory (default: temp)")
+		addr          = flag.String("addr", "127.0.0.1:7687", "listen address")
+		dir           = flag.String("dir", "", "storage directory (default: temp)")
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline (0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 64, "concurrent query limit; excess queries are shed (0 = unbounded)")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight queries")
 	)
 	flag.Parse()
 
@@ -42,7 +46,11 @@ func main() {
 	}
 	defer sys.Close()
 
-	srv := bolt.NewServer(cypher.NewEngine(sys))
+	srv := bolt.NewServer(cypher.NewEngine(sys), bolt.Options{
+		QueryTimeout:  *queryTimeout,
+		MaxConcurrent: *maxConcurrent,
+		DrainTimeout:  *drainTimeout,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fail(err)
@@ -54,6 +62,9 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	m := srv.Metrics()
+	fmt.Printf("served %d queries (%d shed, %d timed out, %d panics contained)\n",
+		m.Queries, m.Shed, m.Timeouts, m.Panics)
 }
 
 func fail(err error) {

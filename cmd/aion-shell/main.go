@@ -30,9 +30,10 @@ import (
 
 func main() {
 	var (
-		dir    = flag.String("dir", "", "embedded storage directory (default: temp)")
-		addr   = flag.String("addr", "", "connect to a Bolt server instead of embedding")
-		script = flag.String("f", "", "run statements from this file and exit")
+		dir          = flag.String("dir", "", "embedded storage directory (default: temp)")
+		addr         = flag.String("addr", "", "connect to a Bolt server instead of embedding")
+		script       = flag.String("f", "", "run statements from this file and exit")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-statement deadline (0 = none / server default)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 			fail(err)
 		}
 		defer client.Close()
-		exec = repl.RemoteExecutor{Client: client}
+		exec = repl.RemoteExecutor{Client: client, Timeout: *queryTimeout}
 	} else {
 		opts := system.Options{Dir: *dir}
 		if *dir == "" {
@@ -58,7 +59,7 @@ func main() {
 			fail(err)
 		}
 		defer sys.Close()
-		exec = repl.EmbeddedExecutor{Engine: cypher.NewEngine(sys)}
+		exec = repl.EmbeddedExecutor{Engine: cypher.NewEngine(sys), Timeout: *queryTimeout}
 	}
 
 	if *script != "" {

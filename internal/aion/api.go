@@ -1,6 +1,7 @@
 package aion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -11,6 +12,12 @@ import (
 // ErrNoStore is returned when a query needs a store that this instance was
 // not configured with (e.g. global queries in lineage-only mode).
 var ErrNoStore = errors.New("aion: required temporal store not configured")
+
+// The read API comes in pairs following the database/sql convention:
+// Xxx(...) is shorthand for XxxContext(context.Background(), ...), and the
+// Context variant observes cancellation cooperatively through both stores —
+// the TimeStore's snapshot-load/log-replay pipelines and the LineageStore's
+// B+Tree range scans all stop within a bounded stride of the context firing.
 
 // StoreChoice identifies which temporal store the planner picked.
 type StoreChoice int
@@ -50,20 +57,25 @@ func (db *DB) lineageAvailable(ts model.Timestamp) bool {
 
 // GetNode returns a node's history between the given timestamps (Table 1).
 func (db *DB) GetNode(id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
-	if db.lineageAvailable(end) {
-		db.decided.lineage.Add(1)
-		return db.ls.GetNode(id, start, end)
-	}
-	db.decided.time.Add(1)
-	return db.tsGetNode(id, start, end)
+	return db.GetNodeContext(context.Background(), id, start, end)
 }
 
-func (db *DB) tsGetNode(id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
+// GetNodeContext is GetNode honouring ctx cancellation.
+func (db *DB) GetNodeContext(ctx context.Context, id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
+	if db.lineageAvailable(end) {
+		db.decided.lineage.Add(1)
+		return db.ls.GetNodeContext(ctx, id, start, end)
+	}
+	db.decided.time.Add(1)
+	return db.tsGetNode(ctx, id, start, end)
+}
+
+func (db *DB) tsGetNode(ctx context.Context, id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
 	if start == end {
-		g, err := db.ts.GetGraph(start)
+		g, err := db.ts.GetGraphContext(ctx, start)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +84,7 @@ func (db *DB) tsGetNode(id model.NodeID, start, end model.Timestamp) ([]*model.N
 		}
 		return nil, nil
 	}
-	tg, err := db.ts.GetTemporalGraph(start, end)
+	tg, err := db.ts.GetTemporalGraphContext(ctx, start, end)
 	if err != nil {
 		return nil, err
 	}
@@ -82,20 +94,25 @@ func (db *DB) tsGetNode(id model.NodeID, start, end model.Timestamp) ([]*model.N
 // GetRelationship returns a relationship's history between the given
 // timestamps (Table 1).
 func (db *DB) GetRelationship(id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
-	if db.lineageAvailable(end) {
-		db.decided.lineage.Add(1)
-		return db.ls.GetRelationship(id, start, end)
-	}
-	db.decided.time.Add(1)
-	return db.tsGetRelationship(id, start, end)
+	return db.GetRelationshipContext(context.Background(), id, start, end)
 }
 
-func (db *DB) tsGetRelationship(id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
+// GetRelationshipContext is GetRelationship honouring ctx cancellation.
+func (db *DB) GetRelationshipContext(ctx context.Context, id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
+	if db.lineageAvailable(end) {
+		db.decided.lineage.Add(1)
+		return db.ls.GetRelationshipContext(ctx, id, start, end)
+	}
+	db.decided.time.Add(1)
+	return db.tsGetRelationship(ctx, id, start, end)
+}
+
+func (db *DB) tsGetRelationship(ctx context.Context, id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
 	if start == end {
-		g, err := db.ts.GetGraph(start)
+		g, err := db.ts.GetGraphContext(ctx, start)
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +121,7 @@ func (db *DB) tsGetRelationship(id model.RelID, start, end model.Timestamp) ([]*
 		}
 		return nil, nil
 	}
-	tg, err := db.ts.GetTemporalGraph(start, end)
+	tg, err := db.ts.GetTemporalGraphContext(ctx, start, end)
 	if err != nil {
 		return nil, err
 	}
@@ -113,16 +130,21 @@ func (db *DB) tsGetRelationship(id model.RelID, start, end model.Timestamp) ([]*
 
 // GetRelationships returns a node's (in/out) relationship history (Table 1).
 func (db *DB) GetRelationships(id model.NodeID, d model.Direction, start, end model.Timestamp) ([][]*model.Rel, error) {
+	return db.GetRelationshipsContext(context.Background(), id, d, start, end)
+}
+
+// GetRelationshipsContext is GetRelationships honouring ctx cancellation.
+func (db *DB) GetRelationshipsContext(ctx context.Context, id model.NodeID, d model.Direction, start, end model.Timestamp) ([][]*model.Rel, error) {
 	if db.lineageAvailable(end) {
 		db.decided.lineage.Add(1)
-		return db.ls.GetRelationships(id, d, start, end)
+		return db.ls.GetRelationshipsContext(ctx, id, d, start, end)
 	}
 	db.decided.time.Add(1)
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
 	if start == end {
-		g, err := db.ts.GetGraph(start)
+		g, err := db.ts.GetGraphContext(ctx, start)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +155,7 @@ func (db *DB) GetRelationships(id model.NodeID, d model.Direction, start, end mo
 		})
 		return out, nil
 	}
-	tg, err := db.ts.GetTemporalGraph(start, end)
+	tg, err := db.ts.GetTemporalGraphContext(ctx, start, end)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +174,7 @@ func (db *DB) GetRelationships(id model.NodeID, d model.Direction, start, end mo
 	for _, r := range tg.RelsAt(id, d, start) {
 		addRel(r.ID)
 	}
-	diff, err := db.ts.GetDiff(start+1, end)
+	diff, err := db.ts.GetDiffContext(ctx, start+1, end)
 	if err != nil {
 		return nil, err
 	}
@@ -196,13 +218,18 @@ func (db *DB) PlanExpand(hops int, d model.Direction, ts model.Timestamp) StoreC
 // Alg 1), one slice per hop. The planner picks the store by estimated
 // cardinality.
 func (db *DB) Expand(id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
+	return db.ExpandContext(context.Background(), id, d, hops, ts)
+}
+
+// ExpandContext is Expand honouring ctx cancellation.
+func (db *DB) ExpandContext(ctx context.Context, id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
 	switch db.PlanExpand(hops, d, ts) {
 	case ChoseLineage:
 		db.decided.lineage.Add(1)
-		return db.ls.Expand(id, d, hops, ts)
+		return db.ls.ExpandContext(ctx, id, d, hops, ts)
 	default:
 		db.decided.time.Add(1)
-		return db.ExpandViaTimeStore(id, d, hops, ts)
+		return db.expandViaTimeStore(ctx, id, d, hops, ts)
 	}
 }
 
@@ -210,10 +237,14 @@ func (db *DB) Expand(id model.NodeID, d model.Direction, hops int, ts model.Time
 // TimeStore expansion path whose cost is dominated by graph retrieval
 // (Sec 4.3). Exported for the Fig 8 store comparison.
 func (db *DB) ExpandViaTimeStore(id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
+	return db.expandViaTimeStore(context.Background(), id, d, hops, ts)
+}
+
+func (db *DB) expandViaTimeStore(ctx context.Context, id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
-	g, err := db.ts.GetGraph(ts)
+	g, err := db.ts.GetGraphContext(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -252,6 +283,12 @@ func ExpandInGraph(g *memgraph.Graph, id model.NodeID, d model.Direction, hops i
 // [start, end] (the full Table 1 expand signature with start, end, and
 // step): one [][]*model.Node result per step time.
 func (db *DB) ExpandRange(id model.NodeID, d model.Direction, hops int, start, end, step model.Timestamp) ([][][]*model.Node, error) {
+	return db.ExpandRangeContext(context.Background(), id, d, hops, start, end, step)
+}
+
+// ExpandRangeContext is ExpandRange honouring ctx cancellation, checked
+// before each step's expansion.
+func (db *DB) ExpandRangeContext(ctx context.Context, id model.NodeID, d model.Direction, hops int, start, end, step model.Timestamp) ([][][]*model.Node, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("aion: step must be positive")
 	}
@@ -260,7 +297,10 @@ func (db *DB) ExpandRange(id model.NodeID, d model.Direction, hops int, start, e
 	}
 	var out [][][]*model.Node
 	for ts := start; ts <= end; ts += step {
-		res, err := db.Expand(id, d, hops, ts)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := db.ExpandContext(ctx, id, d, hops, ts)
 		if err != nil {
 			return nil, err
 		}
@@ -272,59 +312,89 @@ func (db *DB) ExpandRange(id model.NodeID, d model.Direction, hops int, start, e
 // ScanGraphs lazily materializes the snapshot series (footnote 4's lazy
 // variant of getGraph); fn must clone a snapshot to retain it.
 func (db *DB) ScanGraphs(start, end, step model.Timestamp, fn func(g *memgraph.Graph) bool) error {
+	return db.ScanGraphsContext(context.Background(), start, end, step, fn)
+}
+
+// ScanGraphsContext is ScanGraphs honouring ctx cancellation.
+func (db *DB) ScanGraphsContext(ctx context.Context, start, end, step model.Timestamp, fn func(g *memgraph.Graph) bool) error {
 	if db.ts == nil {
 		return ErrNoStore
 	}
-	return db.ts.ScanGraphs(start, end, step, fn)
+	return db.ts.ScanGraphsContext(ctx, start, end, step, fn)
 }
 
 // GetDiff returns all graph updates between two time instances (Table 1),
 // enabling incremental execution.
 func (db *DB) GetDiff(start, end model.Timestamp) ([]model.Update, error) {
+	return db.GetDiffContext(context.Background(), start, end)
+}
+
+// GetDiffContext is GetDiff honouring ctx cancellation.
+func (db *DB) GetDiffContext(ctx context.Context, start, end model.Timestamp) ([]model.Update, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
-	return db.ts.GetDiff(start, end)
+	return db.ts.GetDiffContext(ctx, start, end)
 }
 
 // GraphAt materializes the LPG snapshot at ts.
 func (db *DB) GraphAt(ts model.Timestamp) (*memgraph.Graph, error) {
+	return db.GraphAtContext(context.Background(), ts)
+}
+
+// GraphAtContext is GraphAt honouring ctx cancellation.
+func (db *DB) GraphAtContext(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
-	return db.ts.GetGraph(ts)
+	return db.ts.GetGraphContext(ctx, ts)
 }
 
 // GetGraph returns the history of the graph between two timestamps as a
 // series of snapshots, one per step (Table 1).
 func (db *DB) GetGraph(start, end, step model.Timestamp) ([]*memgraph.Graph, error) {
+	return db.GetGraphContext(context.Background(), start, end, step)
+}
+
+// GetGraphContext is GetGraph honouring ctx cancellation.
+func (db *DB) GetGraphContext(ctx context.Context, start, end, step model.Timestamp) ([]*memgraph.Graph, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
 	if start == end {
-		g, err := db.ts.GetGraph(start)
+		g, err := db.ts.GetGraphContext(ctx, start)
 		if err != nil {
 			return nil, err
 		}
 		return []*memgraph.Graph{g}, nil
 	}
-	return db.ts.GetGraphs(start, end, step)
+	return db.ts.GetGraphsContext(ctx, start, end, step)
 }
 
 // GetWindow filters graph history by a time window (Table 1).
 func (db *DB) GetWindow(start, end model.Timestamp) (*memgraph.Graph, error) {
+	return db.GetWindowContext(context.Background(), start, end)
+}
+
+// GetWindowContext is GetWindow honouring ctx cancellation.
+func (db *DB) GetWindowContext(ctx context.Context, start, end model.Timestamp) (*memgraph.Graph, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
-	return db.ts.GetWindow(start, end)
+	return db.ts.GetWindowContext(ctx, start, end)
 }
 
 // GetTemporalGraph creates a temporal graph over [start, end) (Table 1).
 func (db *DB) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, error) {
+	return db.GetTemporalGraphContext(context.Background(), start, end)
+}
+
+// GetTemporalGraphContext is GetTemporalGraph honouring ctx cancellation.
+func (db *DB) GetTemporalGraphContext(ctx context.Context, start, end model.Timestamp) (*memgraph.TGraph, error) {
 	if db.ts == nil {
 		return nil, ErrNoStore
 	}
-	return db.ts.GetTemporalGraph(start, end)
+	return db.ts.GetTemporalGraphContext(ctx, start, end)
 }
 
 // FilterBitemporal applies the application-time filter of Sec 4.5 to

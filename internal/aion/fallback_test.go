@@ -1,6 +1,7 @@
 package aion
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestFallbackPathsAgreeWithLineage(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			viaTS, err := db.tsGetNode(id, probe, probe)
+			viaTS, err := db.tsGetNode(context.Background(), id, probe, probe)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,7 +105,7 @@ func TestHistoryFallbackAgrees(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaTS, err := db.tsGetNode(id, 1, maxTS)
+		viaTS, err := db.tsGetNode(context.Background(), id, 1, maxTS)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestHistoryFallbackAgrees(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		viaTS, err := db.tsGetRelationship(u.RelID, 1, maxTS)
+		viaTS, err := db.tsGetRelationship(context.Background(), u.RelID, 1, maxTS)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,8 +3,11 @@ package bolt
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"time"
 
 	"aion/internal/cypher"
 	"aion/internal/model"
@@ -22,6 +25,38 @@ type Client struct {
 type Summary struct {
 	NodesCreated, RelsCreated, PropsSet, NodesDeleted, RelsDeleted int
 	CommitTS                                                       model.Timestamp
+}
+
+// RetryPolicy controls RunRetry: full-jitter exponential backoff applied
+// only to failures the server marked retryable (overload, shutdown).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k sleeps a uniform
+	// random duration in [0, min(MaxDelay, BaseDelay·2^k)] (full jitter,
+	// so synchronized clients don't retry in lockstep).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling. Zero means no cap.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy suits a briefly overloaded server: up to 5 attempts
+// over roughly a second.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+}
+
+// backoff returns the sleep before retry number attempt (0-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
 }
 
 // Dial connects and performs the HELLO handshake.
@@ -58,8 +93,17 @@ func (c *Client) send(payload []byte) error {
 
 func (c *Client) recv() ([]byte, error) { return readFrame(c.r) }
 
-// Run executes a query and pulls all records.
+// Run executes a query and pulls all records, with no client-side deadline
+// (the server's default query timeout still applies).
 func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][]cypher.Val, *Summary, error) {
+	return c.RunTimeout(query, params, 0)
+}
+
+// RunTimeout executes a query with a per-query deadline request encoded in
+// the RUN frame. The server enforces it (capped by its own maximum) and
+// answers with a FailTimeout FAILURE when the query exceeds it. A zero
+// timeout requests the server default.
+func (c *Client) RunTimeout(query string, params map[string]model.Value, timeout time.Duration) ([]string, [][]cypher.Val, *Summary, error) {
 	msg := []byte{MsgRun}
 	msg = appendString(msg, query)
 	msg = binary.AppendUvarint(msg, uint64(len(params)))
@@ -67,6 +111,7 @@ func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][
 		msg = appendString(msg, k)
 		msg = appendScalar(msg, v)
 	}
+	msg = binary.AppendUvarint(msg, uint64(timeout/time.Millisecond))
 	if err := c.send(msg); err != nil {
 		return nil, nil, nil, err
 	}
@@ -78,8 +123,7 @@ func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][
 		return nil, nil, nil, fmt.Errorf("bolt: empty reply")
 	}
 	if frame[0] == MsgFailure {
-		msg, _, _ := readString(frame[1:])
-		return nil, nil, nil, fmt.Errorf("bolt: server failure: %s", msg)
+		return nil, nil, nil, decodeFailure(frame[1:])
 	}
 	if frame[0] != MsgSuccess {
 		return nil, nil, nil, fmt.Errorf("bolt: unexpected reply 0x%x", frame[0])
@@ -135,12 +179,38 @@ func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][
 			}
 			return columns, rows, sum, nil
 		case MsgFailure:
-			msg, _, _ := readString(frame[1:])
-			return nil, nil, nil, fmt.Errorf("bolt: server failure: %s", msg)
+			return nil, nil, nil, decodeFailure(frame[1:])
 		default:
 			return nil, nil, nil, fmt.Errorf("bolt: unexpected frame 0x%x", frame[0])
 		}
 	}
+}
+
+// RunRetry is RunTimeout plus automatic retries on failures the server
+// marked retryable (overload shed, shutdown). Terminal failures — syntax
+// errors, timeouts, panics — and transport errors are returned immediately:
+// a server FAILURE leaves the connection usable, so retries reuse it.
+func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]model.Value, timeout time.Duration) ([]string, [][]cypher.Val, *Summary, error) {
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(policy.backoff(attempt - 1))
+		}
+		cols, rows, sum, err := c.RunTimeout(query, params, timeout)
+		if err == nil {
+			return cols, rows, sum, nil
+		}
+		lastErr = err
+		var se *ServerError
+		if !errors.As(err, &se) || !se.Retryable() {
+			return nil, nil, nil, err
+		}
+	}
+	return nil, nil, nil, lastErr
 }
 
 func decodeSummary(b []byte) (*Summary, error) {

@@ -2,30 +2,129 @@ package bolt
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"aion/internal/cypher"
 	"aion/internal/model"
 )
 
+// Options configures the serving contract: deadlines, admission control,
+// and drain behaviour. The zero value serves like the original server —
+// no timeouts, unbounded concurrency, immediate close.
+type Options struct {
+	// QueryTimeout is the per-query deadline applied when the client does
+	// not request one in the RUN frame. Zero means no default deadline.
+	QueryTimeout time.Duration
+	// MaxQueryTimeout caps client-requested deadlines so a client cannot
+	// opt out of the server's protection by sending a huge value. Zero
+	// means client requests are taken as-is.
+	MaxQueryTimeout time.Duration
+	// MaxConcurrent bounds the number of queries executing at once; excess
+	// RUNs are shed immediately with a retryable FailOverloaded FAILURE
+	// rather than queued (queueing under overload only moves the wait from
+	// the client into the server). Zero or negative means unbounded.
+	MaxConcurrent int
+	// DrainTimeout is how long Close waits for in-flight queries to finish
+	// before cancelling them. Zero means cancel immediately.
+	DrainTimeout time.Duration
+	// IdleTimeout closes a connection that sends no frame for this long.
+	// Zero means connections may idle forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response flush, so one stalled client
+	// cannot pin a serving goroutine. Zero means no write deadline.
+	WriteTimeout time.Duration
+}
+
+// Metrics is a snapshot of the server's admission counters.
+type Metrics struct {
+	// Queries is the number of RUN statements admitted for execution.
+	Queries uint64
+	// Shed counts RUNs rejected by the concurrency limit (FailOverloaded).
+	Shed uint64
+	// Timeouts counts queries that exceeded their deadline (FailTimeout).
+	Timeouts uint64
+	// Panics counts queries that crashed and were contained (FailPanic).
+	Panics uint64
+}
+
 // Server serves temporal Cypher over the Bolt-like protocol. Each
 // connection gets its own goroutine (the worker threads dedicated to query
 // compilation, transaction management, and networking of Sec 6.7).
+//
+// Serving contract: every admitted query runs under a context that is
+// cancelled on deadline expiry and on server drain; a panic inside the
+// engine is contained to the query that caused it; overload is shed with a
+// retryable FAILURE instead of queueing; Close drains in-flight queries up
+// to DrainTimeout before cancelling them.
 type Server struct {
-	engine   *cypher.Engine
+	engine *cypher.Engine
+	opts   Options
+
+	// baseCtx parents every query context; cancelled when drain gives up.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	listener net.Listener
+	wg       sync.WaitGroup
+
+	// sem is the admission semaphore (nil when unbounded). Acquisition is
+	// non-blocking: a full semaphore sheds the query.
+	sem chan struct{}
+
 	mu       sync.Mutex
 	conns    map[net.Conn]bool
 	closed   bool
-	wg       sync.WaitGroup
+	draining bool
+	// active counts connections with an unfinished statement cycle (RUN
+	// admitted through PULL summary flushed). Once draining is set no
+	// connection can become active, so active only falls; the transition
+	// to zero closes drainedCh.
+	active    int
+	drainedCh chan struct{}
+
+	queries  atomic.Uint64
+	shed     atomic.Uint64
+	timeouts atomic.Uint64
+	panics   atomic.Uint64
 }
 
-// NewServer creates a server over a Cypher engine.
-func NewServer(engine *cypher.Engine) *Server {
-	return &Server{engine: engine, conns: map[net.Conn]bool{}}
+// NewServer creates a server over a Cypher engine. Options are variadic so
+// existing callers keep working; at most one Options value is used.
+func NewServer(engine *cypher.Engine, opts ...Options) *Server {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		engine:    engine,
+		opts:      o,
+		baseCtx:   ctx,
+		cancel:    cancel,
+		conns:     map[net.Conn]bool{},
+		drainedCh: make(chan struct{}),
+	}
+	if o.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, o.MaxConcurrent)
+	}
+	return s
+}
+
+// Metrics returns a snapshot of the admission counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Queries:  s.queries.Load(),
+		Shed:     s.shed.Load(),
+		Timeouts: s.timeouts.Load(),
+		Panics:   s.panics.Load(),
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -49,7 +148,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -61,20 +160,79 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// Close stops the server and terminates open connections.
+// Close drains and stops the server: stop accepting, let in-flight
+// statements finish for up to DrainTimeout, then cancel whatever remains
+// and terminate the connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
 	}
+	s.closed = true
+	s.draining = true
+	idle := s.active == 0
 	s.mu.Unlock()
+
+	// Stop accepting. In-flight serve loops keep running; new RUNs are
+	// rejected with FailShuttingDown because draining is set.
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+
+	if !idle && s.opts.DrainTimeout > 0 {
+		t := time.NewTimer(s.opts.DrainTimeout)
+		select {
+		case <-s.drainedCh:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+
+	// Cancel queries that outlived the drain window, then drop the
+	// connections.
+	s.cancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// enterStatement marks a connection busy for drain accounting; it fails
+// when the server is draining.
+func (s *Server) enterStatement() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// exitStatement ends a statement cycle; the last one out during a drain
+// signals Close.
+func (s *Server) exitStatement() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && s.draining {
+		select {
+		case <-s.drainedCh:
+		default:
+			close(s.drainedCh)
+		}
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) dropConn(conn net.Conn) {
@@ -84,22 +242,77 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// queryContext derives the context one query runs under: the server base
+// context (cancelled at the end of drain) plus the effective deadline.
+// A client-requested timeout wins but is capped by MaxQueryTimeout;
+// otherwise the server default applies.
+func (s *Server) queryContext(reqTimeout time.Duration) (context.Context, context.CancelFunc) {
+	timeout := s.opts.QueryTimeout
+	if reqTimeout > 0 {
+		timeout = reqTimeout
+		if s.opts.MaxQueryTimeout > 0 && timeout > s.opts.MaxQueryTimeout {
+			timeout = s.opts.MaxQueryTimeout
+		}
+	}
+	if timeout <= 0 {
+		return context.WithCancel(s.baseCtx)
+	}
+	return context.WithTimeout(s.baseCtx, timeout)
+}
+
+// runQuery executes one statement with panic containment: a crash inside
+// the engine is converted to a FailPanic ServerError instead of unwinding
+// the connection goroutine (and with it the server).
+func (s *Server) runQuery(ctx context.Context, query string, params map[string]model.Value) (res *cypher.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			res = nil
+			err = &ServerError{Code: FailPanic, Msg: fmt.Sprintf("query panicked: %v", p)}
+		}
+	}()
+	return s.engine.QueryContext(ctx, query, params)
+}
+
+// rowFlushStride is how many RECORD frames are buffered between flushes
+// when streaming a PULL response: large enough to amortize syscalls, small
+// enough that the client sees rows while the server is still producing.
+const rowFlushStride = 256
+
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
+	// A panic outside the per-query recovery (protocol handling itself)
+	// must not take down the whole server; contain it to this connection.
+	defer func() { recover() }()
+
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 
 	send := func(payload []byte) error {
-		if err := writeFrame(w, payload); err != nil {
+		return writeFrame(w, payload)
+	}
+	flush := func() error {
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		return w.Flush()
+	}
+	read := func() ([]byte, error) {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		return readFrame(r)
+	}
+	fail := func(code byte, msg string) error {
+		if err := send(appendFailure(code, msg)); err != nil {
 			return err
 		}
-		return nil
+		return flush()
 	}
-	flush := func() error { return w.Flush() }
 
 	// Handshake: expect HELLO, reply SUCCESS.
-	frame, err := readFrame(r)
+	frame, err := read()
 	if err != nil || len(frame) == 0 || frame[0] != MsgHello {
 		return
 	}
@@ -111,8 +324,19 @@ func (s *Server) serve(conn net.Conn) {
 	}
 
 	var pending *cypher.Result
+	// busy tracks whether this connection holds a statement slot (RUN
+	// admitted, summary not yet delivered) for drain accounting.
+	busy := false
+	finishStatement := func() {
+		if busy {
+			busy = false
+			s.exitStatement()
+		}
+	}
+	defer finishStatement()
+
 	for {
-		frame, err := readFrame(r)
+		frame, err := read()
 		if err != nil || len(frame) == 0 {
 			return
 		}
@@ -120,17 +344,60 @@ func (s *Server) serve(conn net.Conn) {
 		case MsgGoodbye:
 			return
 		case MsgRun:
-			query, params, derr := decodeRun(frame[1:])
+			// A RUN while a result is pending replaces it; the previous
+			// statement cycle is over.
+			pending = nil
+			finishStatement()
+			query, params, reqTimeout, derr := decodeRun(frame[1:])
 			if derr != nil {
-				sendFailure(send, derr)
-				flush()
+				if fail(FailGeneric, derr.Error()) != nil {
+					return
+				}
 				continue
 			}
-			res, qerr := s.engine.Query(query, params)
+			// Admission: reject during drain, shed at the concurrency cap.
+			if !s.enterStatement() {
+				if fail(FailShuttingDown, "server is shutting down") != nil {
+					return
+				}
+				continue
+			}
+			busy = true
+			if s.sem != nil {
+				select {
+				case s.sem <- struct{}{}:
+				default:
+					finishStatement()
+					s.shed.Add(1)
+					if fail(FailOverloaded, "too many concurrent queries") != nil {
+						return
+					}
+					continue
+				}
+			}
+			s.queries.Add(1)
+			ctx, cancel := s.queryContext(reqTimeout)
+			res, qerr := s.runQuery(ctx, query, params)
+			cancel()
+			if s.sem != nil {
+				<-s.sem
+			}
 			if qerr != nil {
-				pending = nil
-				sendFailure(send, qerr)
-				flush()
+				finishStatement()
+				code := FailGeneric
+				var se *ServerError
+				switch {
+				case errors.As(qerr, &se):
+					code = se.Code
+				case errors.Is(qerr, context.DeadlineExceeded):
+					s.timeouts.Add(1)
+					code = FailTimeout
+				case errors.Is(qerr, context.Canceled) && s.isDraining():
+					code = FailShuttingDown
+				}
+				if fail(code, qerr.Error()) != nil {
+					return
+				}
 				continue
 			}
 			pending = res
@@ -140,22 +407,35 @@ func (s *Server) serve(conn net.Conn) {
 			for _, c := range res.Columns {
 				payload = appendString(payload, c)
 			}
-			send(payload)
-			flush()
+			if send(payload) != nil {
+				return
+			}
+			if flush() != nil {
+				return
+			}
 		case MsgPull:
 			if pending == nil {
-				sendFailure(send, fmt.Errorf("bolt: PULL with no pending result"))
-				flush()
+				if fail(FailGeneric, "bolt: PULL with no pending result") != nil {
+					return
+				}
 				continue
 			}
-			for _, row := range pending.Rows {
+			// Stream records with periodic flushes so large results reach
+			// the client incrementally instead of accumulating in the
+			// write buffer.
+			for i, row := range pending.Rows {
 				payload := []byte{MsgRecord}
 				payload = binary.AppendUvarint(payload, uint64(len(row)))
 				for _, v := range row {
 					payload = appendVal(payload, v)
 				}
-				if err := send(payload); err != nil {
+				if send(payload) != nil {
 					return
+				}
+				if (i+1)%rowFlushStride == 0 {
+					if flush() != nil {
+						return
+					}
 				}
 			}
 			// Summary SUCCESS with write counters.
@@ -167,29 +447,33 @@ func (s *Server) serve(conn net.Conn) {
 			}
 			payload = binary.AppendVarint(payload, int64(pending.CommitTS))
 			pending = nil
-			send(payload)
-			flush()
+			if send(payload) != nil {
+				return
+			}
+			if flush() != nil {
+				return
+			}
+			finishStatement()
 		default:
-			sendFailure(send, fmt.Errorf("bolt: unexpected message 0x%x", frame[0]))
-			flush()
+			if fail(FailGeneric, fmt.Sprintf("bolt: unexpected message 0x%x", frame[0])) != nil {
+				return
+			}
 		}
 	}
 }
 
-func sendFailure(send func([]byte) error, err error) {
-	payload := []byte{MsgFailure}
-	payload = appendString(payload, err.Error())
-	send(payload)
-}
-
-func decodeRun(b []byte) (string, map[string]model.Value, error) {
+// decodeRun parses a RUN frame body: query, parameters, and an optional
+// trailing uvarint timeout in milliseconds. The timeout field is absent in
+// frames from older clients, which is treated as "no request" rather than
+// an error.
+func decodeRun(b []byte) (string, map[string]model.Value, time.Duration, error) {
 	query, b, err := readString(b)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
 	n, w := binary.Uvarint(b)
 	if w <= 0 {
-		return "", nil, fmt.Errorf("bolt: bad param count")
+		return "", nil, 0, fmt.Errorf("bolt: bad param count")
 	}
 	b = b[w:]
 	var params map[string]model.Value
@@ -198,16 +482,24 @@ func decodeRun(b []byte) (string, map[string]model.Value, error) {
 		var v model.Value
 		k, b, err = readString(b)
 		if err != nil {
-			return "", nil, err
+			return "", nil, 0, err
 		}
 		v, b, err = readScalar(b)
 		if err != nil {
-			return "", nil, err
+			return "", nil, 0, err
 		}
 		if params == nil {
 			params = map[string]model.Value{}
 		}
 		params[k] = v
 	}
-	return query, params, nil
+	var timeout time.Duration
+	if len(b) > 0 {
+		millis, w := binary.Uvarint(b)
+		if w <= 0 {
+			return "", nil, 0, fmt.Errorf("bolt: bad timeout field")
+		}
+		timeout = time.Duration(millis) * time.Millisecond
+	}
+	return query, params, timeout, nil
 }

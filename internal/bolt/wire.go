@@ -27,6 +27,83 @@ const (
 	MsgFailure byte = 0x7F
 )
 
+// FAILURE codes. A FAILURE frame is [MsgFailure, code, message string]; the
+// code tells the client whether the statement itself was rejected
+// (terminal) or whether the server's current state caused the rejection
+// (retryable — the same statement may succeed after a backoff).
+const (
+	// FailGeneric is a terminal statement error (parse error, unknown
+	// procedure, bad arguments, ...). Retrying the same statement cannot
+	// succeed.
+	FailGeneric byte = 0x00
+	// FailTimeout means the query exceeded its deadline. Terminal: the same
+	// query would time out again unless the client raises its timeout.
+	FailTimeout byte = 0x01
+	// FailOverloaded means admission control shed the query because the
+	// concurrent-query limit was reached. Retryable after backoff.
+	FailOverloaded byte = 0x02
+	// FailShuttingDown means the server is draining and no longer admits
+	// queries. Retryable — against another replica, or after a restart.
+	FailShuttingDown byte = 0x03
+	// FailPanic means the query crashed inside the engine. The panic was
+	// contained to this query; the connection and server remain usable.
+	// Terminal, since the same statement would likely crash again.
+	FailPanic byte = 0x04
+)
+
+// ServerError is a FAILURE received from the server, carrying the failure
+// code so clients can distinguish retryable overload/drain conditions from
+// terminal statement errors.
+type ServerError struct {
+	Code byte
+	Msg  string
+}
+
+// Error renders the failure with its code name.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("bolt: server failure (%s): %s", failName(e.Code), e.Msg)
+}
+
+// Retryable reports whether the same statement may succeed if retried
+// after a backoff.
+func (e *ServerError) Retryable() bool {
+	return e.Code == FailOverloaded || e.Code == FailShuttingDown
+}
+
+func failName(code byte) string {
+	switch code {
+	case FailTimeout:
+		return "timeout"
+	case FailOverloaded:
+		return "overloaded"
+	case FailShuttingDown:
+		return "shutting down"
+	case FailPanic:
+		return "panic"
+	}
+	return "error"
+}
+
+// appendFailure encodes a FAILURE frame payload.
+func appendFailure(code byte, msg string) []byte {
+	payload := []byte{MsgFailure, code}
+	return appendString(payload, msg)
+}
+
+// decodeFailure decodes a FAILURE frame body (everything after the message
+// byte) into a ServerError.
+func decodeFailure(b []byte) *ServerError {
+	if len(b) == 0 {
+		return &ServerError{Code: FailGeneric, Msg: "unknown failure"}
+	}
+	code := b[0]
+	msg, _, err := readString(b[1:])
+	if err != nil {
+		return &ServerError{Code: FailGeneric, Msg: "malformed failure frame"}
+	}
+	return &ServerError{Code: code, Msg: msg}
+}
+
 // Value tags.
 const (
 	tagNull   byte = 0x00

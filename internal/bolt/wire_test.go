@@ -96,12 +96,12 @@ func TestFrameRoundTripAndLimits(t *testing.T) {
 }
 
 func TestDecodeRunMalformed(t *testing.T) {
-	if _, _, err := decodeRun(nil); err == nil {
+	if _, _, _, err := decodeRun(nil); err == nil {
 		t.Error("empty RUN must fail")
 	}
 	// Valid query string, bad param count.
 	b := appendString(nil, "MATCH (n) RETURN n")
-	if _, _, err := decodeRun(b); err == nil {
+	if _, _, _, err := decodeRun(b); err == nil {
 		t.Error("missing param count must fail")
 	}
 }

@@ -1,8 +1,10 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"aion/internal/memgraph"
 	"aion/internal/model"
@@ -48,9 +50,20 @@ type Result struct {
 }
 
 // Engine executes temporal Cypher against a host + Aion system.
+//
+// Concurrency contract: any number of read statements may execute
+// concurrently with each other (reads take no engine lock — the host graph
+// and the temporal stores synchronize internally), while write statements
+// (CREATE, or MATCH with SET/DELETE/CREATE clauses) are serialized through
+// a single-writer mutex. Writes therefore never interleave half-applied
+// state, and reads never block behind other reads.
 type Engine struct {
 	Sys   *system.System
 	procs map[string]Proc
+
+	// writeMu serializes write statements (single-writer). Reads do not
+	// take it.
+	writeMu sync.Mutex
 }
 
 // NewEngine creates an engine with the built-in temporal procedures
@@ -64,18 +77,57 @@ func NewEngine(sys *system.System) *Engine {
 // Register adds a procedure.
 func (e *Engine) Register(name string, p Proc) { e.procs[name] = p }
 
-// Query parses and executes one statement.
+// Query parses and executes one statement. It is shorthand for
+// QueryContext(context.Background(), ...).
 func (e *Engine) Query(q string, params map[string]model.Value) (*Result, error) {
+	return e.QueryContext(context.Background(), q, params)
+}
+
+// QueryContext parses and executes one statement under ctx: pattern-match
+// loops, temporal store scans, and procedures all observe cancellation
+// cooperatively and return ctx.Err() shortly after the context fires.
+func (e *Engine) QueryContext(c context.Context, q string, params map[string]model.Value) (*Result, error) {
 	st, err := Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(st, params)
+	return e.ExecContext(c, st, params)
 }
 
-// Exec executes a parsed statement.
+// Exec executes a parsed statement (shorthand for ExecContext with a
+// background context).
 func (e *Engine) Exec(st *Statement, params map[string]model.Value) (*Result, error) {
-	ctx := &execCtx{e: e, params: params}
+	return e.ExecContext(context.Background(), st, params)
+}
+
+// isWrite reports whether st mutates the graph (and must therefore hold the
+// single-writer lock).
+func isWrite(st *Statement) bool {
+	if st.Create != nil {
+		return true
+	}
+	if m := st.Match; m != nil {
+		return len(m.Sets) > 0 || len(m.Deletes) > 0 || len(m.Creates) > 0
+	}
+	return false
+}
+
+// ExecContext executes a parsed statement under ctx. Write statements are
+// serialized on the engine's single-writer mutex; reads run lock-free.
+func (e *Engine) ExecContext(c context.Context, st *Statement, params map[string]model.Value) (*Result, error) {
+	if c == nil {
+		c = context.Background()
+	}
+	if isWrite(st) {
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		// A write that spent its deadline queueing behind other writers
+		// should not start applying updates.
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &execCtx{e: e, c: c, params: params}
 	switch {
 	case st.Call != nil:
 		return e.execCall(ctx, st)
@@ -89,7 +141,20 @@ func (e *Engine) Exec(st *Statement, params map[string]model.Value) (*Result, er
 
 type execCtx struct {
 	e      *Engine
+	c      context.Context
 	params map[string]model.Value
+	steps  int
+}
+
+// checkCancel is the engine's cooperative cancellation point, called from
+// the pattern-matching and projection loops. The real ctx.Err() load is
+// strided (every 256 steps) so the check stays invisible in match profiles.
+func (ctx *execCtx) checkCancel() error {
+	ctx.steps++
+	if ctx.steps&255 == 0 {
+		return ctx.c.Err()
+	}
+	return nil
 }
 
 // bindings maps pattern variables to matched entities.
@@ -346,7 +411,7 @@ func (e *Engine) matchAsOf(ctx *execCtx, m *MatchStmt, ts model.Timestamp) ([]bi
 	if len(m.Patterns) == 1 && len(m.Patterns[0].Nodes) == 1 {
 		np := m.Patterns[0].Nodes[0]
 		if id, ok := ctx.anchorID(m.Where, np.Var); ok {
-			ns, err := ad.GetNode(model.NodeID(id), ts, ts)
+			ns, err := ad.GetNodeContext(ctx.c, model.NodeID(id), ts, ts)
 			if err != nil {
 				return nil, err
 			}
@@ -371,11 +436,11 @@ func (e *Engine) matchAsOf(ctx *execCtx, m *MatchStmt, ts model.Timestamp) ([]bi
 		np := m.Patterns[0].Nodes[0]
 		rp := m.Patterns[0].Rels[0]
 		if id, ok := ctx.anchorID(m.Where, np.Var); ok && rp.Type == "" {
-			start, err := ad.GetNode(model.NodeID(id), ts, ts)
+			start, err := ad.GetNodeContext(ctx.c, model.NodeID(id), ts, ts)
 			if err != nil || len(start) == 0 {
 				return nil, err
 			}
-			res, err := ad.Expand(model.NodeID(id), rp.Dir, rp.MaxHops, ts)
+			res, err := ad.ExpandContext(ctx.c, model.NodeID(id), rp.Dir, rp.MaxHops, ts)
 			if err != nil {
 				return nil, err
 			}
@@ -404,7 +469,7 @@ func (e *Engine) matchAsOf(ctx *execCtx, m *MatchStmt, ts model.Timestamp) ([]bi
 		}
 	}
 	// General case: materialize the snapshot.
-	g, err := ad.GraphAt(ts)
+	g, err := ad.GraphAtContext(ctx.c, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +487,7 @@ func (e *Engine) matchRange(ctx *execCtx, m *MatchStmt, win model.Interval) ([]b
 	if len(m.Patterns) == 1 && len(m.Patterns[0].Nodes) == 1 {
 		np := m.Patterns[0].Nodes[0]
 		if id, ok := ctx.anchorID(m.Where, np.Var); ok {
-			ns, err := ad.GetNode(model.NodeID(id), win.Start, win.End)
+			ns, err := ad.GetNodeContext(ctx.c, model.NodeID(id), win.Start, win.End)
 			if err != nil {
 				return nil, err
 			}
@@ -440,7 +505,7 @@ func (e *Engine) matchRange(ctx *execCtx, m *MatchStmt, win model.Interval) ([]b
 			return rows, nil
 		}
 	}
-	g, err := ad.GetWindow(win.Start, win.End)
+	g, err := ad.GetWindowContext(ctx.c, win.Start, win.End)
 	if err != nil {
 		return nil, err
 	}
@@ -502,6 +567,9 @@ func (e *Engine) matchOnGraph(ctx *execCtx, g *memgraph.Graph, m *MatchStmt) ([]
 	for _, pat := range m.Patterns {
 		var next []bindings
 		for _, env := range envs {
+			if err := ctx.checkCancel(); err != nil {
+				return nil, err
+			}
 			matched, err := e.matchPattern(ctx, g, pat, env, m.Where)
 			if err != nil {
 				return nil, err
@@ -515,6 +583,9 @@ func (e *Engine) matchOnGraph(ctx *execCtx, g *memgraph.Graph, m *MatchStmt) ([]
 	}
 	var rows []bindings
 	for _, env := range envs {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, err
+		}
 		keep, err := ctx.applyWhere(env, m.Where)
 		if err != nil {
 			return nil, err
@@ -558,6 +629,9 @@ func (e *Engine) matchPattern(ctx *execCtx, g *memgraph.Graph, pat PathPattern, 
 
 	var extend func(env bindings, step int, cur *model.Node) error
 	extend = func(env bindings, step int, cur *model.Node) error {
+		if err := ctx.checkCancel(); err != nil {
+			return err
+		}
 		if step == len(pat.Rels) {
 			rows = append(rows, env.clone())
 			return nil
@@ -615,6 +689,9 @@ func (e *Engine) matchPattern(ctx *execCtx, g *memgraph.Graph, pat PathPattern, 
 				var next []hopNode
 				for _, hn := range frontier {
 					var gerr error
+					if gerr = ctx.checkCancel(); gerr != nil {
+						return gerr
+					}
 					g.Neighbours(hn.id, rp.Dir, func(r *model.Rel, nb model.NodeID) bool {
 						if rp.Type != "" && r.Label != rp.Type {
 							return true
@@ -654,6 +731,9 @@ func (e *Engine) matchPattern(ctx *execCtx, g *memgraph.Graph, pat PathPattern, 
 	}
 
 	for _, n := range candidates {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, err
+		}
 		if !nodeMatches(ctx, n, first) {
 			continue
 		}
@@ -696,6 +776,9 @@ func (e *Engine) project(ctx *execCtx, m *MatchStmt, rows []bindings) (*Result, 
 		return res, nil
 	}
 	for _, env := range rows {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, err
+		}
 		out := make([]Val, len(m.Return))
 		for i, item := range m.Return {
 			v, err := ctx.evalVal(env, item.E)

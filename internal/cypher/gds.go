@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"sort"
 
 	"aion/internal/algo"
@@ -27,11 +28,11 @@ func registerGDS(e *Engine) {
 
 // procGDSPageRank: aion.gds.pagerank(ts, topK) -> (node, rank) sorted by
 // rank descending.
-func procGDSPageRank(e *Engine, args []model.Value) (*Result, error) {
+func procGDSPageRank(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 2, "aion.gds.pagerank"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[0].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -66,11 +67,11 @@ func procGDSPageRank(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procGDSWCC: aion.gds.wcc(ts) -> (component, size) sorted by size desc.
-func procGDSWCC(e *Engine, args []model.Value) (*Result, error) {
+func procGDSWCC(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 1, "aion.gds.wcc"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[0].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -106,11 +107,11 @@ func procGDSWCC(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procGDSTriangles: aion.gds.triangleCount(ts) -> (triangles).
-func procGDSTriangles(e *Engine, args []model.Value) (*Result, error) {
+func procGDSTriangles(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 1, "aion.gds.triangleCount"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[0].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -122,11 +123,11 @@ func procGDSTriangles(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procGDSBFS: aion.gds.bfs(src, ts) -> (node, level) for reachable nodes.
-func procGDSBFS(e *Engine, args []model.Value) (*Result, error) {
+func procGDSBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 2, "aion.gds.bfs"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[1].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +145,11 @@ func procGDSBFS(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procGDSSSSP: aion.gds.sssp(src, ts, weightProp) -> (node, distance).
-func procGDSSSSP(e *Engine, args []model.Value) (*Result, error) {
+func procGDSSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 3, "aion.gds.sssp"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[1].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -166,11 +167,11 @@ func procGDSSSSP(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procGDSLCC: aion.gds.lcc(nodeId, ts) -> (coefficient).
-func procGDSLCC(e *Engine, args []model.Value) (*Result, error) {
+func procGDSLCC(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 2, "aion.gds.lcc"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[1].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[1].Int()))
 	if err != nil {
 		return nil, err
 	}

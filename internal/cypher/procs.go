@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,8 +12,10 @@ import (
 
 // Proc is a temporal procedure callable from Cypher (Sec 5.1: "Aion wraps
 // the functionality exposed in Table 1 with temporal procedures"). Args are
-// already-evaluated scalars.
-type Proc func(e *Engine, args []model.Value) (*Result, error)
+// already-evaluated scalars. ctx carries the query's deadline; long-running
+// procedures must observe it (the built-ins check it between snapshot steps
+// and pass it through to the store APIs).
+type Proc func(ctx context.Context, e *Engine, args []model.Value) (*Result, error)
 
 func (e *Engine) execCall(ctx *execCtx, st *Statement) (*Result, error) {
 	c := st.Call
@@ -28,7 +31,7 @@ func (e *Engine) execCall(ctx *execCtx, st *Statement) (*Result, error) {
 		}
 		args[i] = v
 	}
-	res, err := proc(e, args)
+	res, err := proc(ctx.c, e, args)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +104,7 @@ func registerBuiltins(e *Engine) {
 
 // procIncSSSP: aion.incremental.sssp(src, prop, start, end, step) ->
 // (ts, reached, maxDistance): shortest-path state advanced by getDiff.
-func procIncSSSP(e *Engine, args []model.Value) (*Result, error) {
+func procIncSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 5, "aion.incremental.sssp"); err != nil {
 		return nil, err
 	}
@@ -111,7 +114,7 @@ func procIncSSSP(e *Engine, args []model.Value) (*Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("cypher: step must be positive")
 	}
-	g, err := e.Sys.Aion.GraphAt(start)
+	g, err := e.Sys.Aion.GraphAtContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +140,10 @@ func procIncSSSP(e *Engine, args []model.Value) (*Result, error) {
 	emit(start)
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
-		diff, err := e.Sys.Aion.GetDiff(prev+1, ts+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diff, err := e.Sys.Aion.GetDiffContext(ctx, prev+1, ts+1)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +161,7 @@ func procIncSSSP(e *Engine, args []model.Value) (*Result, error) {
 
 // procIncColoring: aion.incremental.coloring(start, end, step) ->
 // (ts, colors): greedy colouring repaired incrementally between snapshots.
-func procIncColoring(e *Engine, args []model.Value) (*Result, error) {
+func procIncColoring(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 3, "aion.incremental.coloring"); err != nil {
 		return nil, err
 	}
@@ -163,7 +169,7 @@ func procIncColoring(e *Engine, args []model.Value) (*Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("cypher: step must be positive")
 	}
-	g, err := e.Sys.Aion.GraphAt(start)
+	g, err := e.Sys.Aion.GraphAtContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +184,10 @@ func procIncColoring(e *Engine, args []model.Value) (*Result, error) {
 	emit(start)
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
-		diff, err := e.Sys.Aion.GetDiff(prev+1, ts+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diff, err := e.Sys.Aion.GetDiffContext(ctx, prev+1, ts+1)
 		if err != nil {
 			return nil, err
 		}
@@ -195,11 +204,11 @@ func procIncColoring(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procNode: aion.node(id, start, end) -> (node, validFrom, validTo).
-func procNode(e *Engine, args []model.Value) (*Result, error) {
+func procNode(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 3, "aion.node"); err != nil {
 		return nil, err
 	}
-	ns, err := e.Sys.Aion.GetNode(model.NodeID(args[0].Int()),
+	ns, err := e.Sys.Aion.GetNodeContext(ctx, model.NodeID(args[0].Int()),
 		model.Timestamp(args[1].Int()), model.Timestamp(args[2].Int()))
 	if err != nil {
 		return nil, err
@@ -214,11 +223,11 @@ func procNode(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procRelationship: aion.relationship(id, start, end).
-func procRelationship(e *Engine, args []model.Value) (*Result, error) {
+func procRelationship(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 3, "aion.relationship"); err != nil {
 		return nil, err
 	}
-	rs, err := e.Sys.Aion.GetRelationship(model.RelID(args[0].Int()),
+	rs, err := e.Sys.Aion.GetRelationshipContext(ctx, model.RelID(args[0].Int()),
 		model.Timestamp(args[1].Int()), model.Timestamp(args[2].Int()))
 	if err != nil {
 		return nil, err
@@ -233,11 +242,11 @@ func procRelationship(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procRelationships: aion.relationships(nodeId, dir, start, end).
-func procRelationships(e *Engine, args []model.Value) (*Result, error) {
+func procRelationships(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.relationships"); err != nil {
 		return nil, err
 	}
-	hists, err := e.Sys.Aion.GetRelationships(model.NodeID(args[0].Int()), dirOf(args[1]),
+	hists, err := e.Sys.Aion.GetRelationshipsContext(ctx, model.NodeID(args[0].Int()), dirOf(args[1]),
 		model.Timestamp(args[2].Int()), model.Timestamp(args[3].Int()))
 	if err != nil {
 		return nil, err
@@ -254,11 +263,11 @@ func procRelationships(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procExpand: aion.expand(nodeId, dir, hops, ts) -> (hop, node).
-func procExpand(e *Engine, args []model.Value) (*Result, error) {
+func procExpand(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.expand"); err != nil {
 		return nil, err
 	}
-	hops, err := e.Sys.Aion.Expand(model.NodeID(args[0].Int()), dirOf(args[1]),
+	hops, err := e.Sys.Aion.ExpandContext(ctx, model.NodeID(args[0].Int()), dirOf(args[1]),
 		int(args[2].Int()), model.Timestamp(args[3].Int()))
 	if err != nil {
 		return nil, err
@@ -274,11 +283,11 @@ func procExpand(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procDiff: aion.diff(start, end) -> (ts, op, entity, id).
-func procDiff(e *Engine, args []model.Value) (*Result, error) {
+func procDiff(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 2, "aion.diff"); err != nil {
 		return nil, err
 	}
-	diff, err := e.Sys.Aion.GetDiff(model.Timestamp(args[0].Int()), model.Timestamp(args[1].Int()))
+	diff, err := e.Sys.Aion.GetDiffContext(ctx, model.Timestamp(args[0].Int()), model.Timestamp(args[1].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -300,11 +309,11 @@ func procDiff(e *Engine, args []model.Value) (*Result, error) {
 
 // procGraph: aion.graph(ts) -> (nodes, rels); materializes a snapshot and
 // stores it in the GraphStore for subsequent queries.
-func procGraph(e *Engine, args []model.Value) (*Result, error) {
+func procGraph(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 1, "aion.graph"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GraphAt(model.Timestamp(args[0].Int()))
+	g, err := e.Sys.Aion.GraphAtContext(ctx, model.Timestamp(args[0].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -319,11 +328,11 @@ func procGraph(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procWindow: aion.window(start, end) -> (nodes, rels).
-func procWindow(e *Engine, args []model.Value) (*Result, error) {
+func procWindow(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 2, "aion.window"); err != nil {
 		return nil, err
 	}
-	g, err := e.Sys.Aion.GetWindow(model.Timestamp(args[0].Int()), model.Timestamp(args[1].Int()))
+	g, err := e.Sys.Aion.GetWindowContext(ctx, model.Timestamp(args[0].Int()), model.Timestamp(args[1].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +346,7 @@ func procWindow(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procStats: aion.stats() -> planner statistics.
-func procStats(e *Engine, args []model.Value) (*Result, error) {
+func procStats(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	st := e.Sys.Aion.Stats()
 	lineage, timeStore := e.Sys.Aion.PlannerDecisions()
 	return &Result{
@@ -364,7 +373,7 @@ func snapshotTimes(start, end, step model.Timestamp) []model.Timestamp {
 // procIncAvg: aion.incremental.avg(prop, start, end, step) -> (ts, avg,
 // count). The aggregate is seeded at start and advanced with getDiff
 // between consecutive snapshots.
-func procIncAvg(e *Engine, args []model.Value) (*Result, error) {
+func procIncAvg(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.incremental.avg"); err != nil {
 		return nil, err
 	}
@@ -373,7 +382,7 @@ func procIncAvg(e *Engine, args []model.Value) (*Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("cypher: step must be positive")
 	}
-	g, err := e.Sys.Aion.GraphAt(start)
+	g, err := e.Sys.Aion.GraphAtContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +399,10 @@ func procIncAvg(e *Engine, args []model.Value) (*Result, error) {
 	emit(start)
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
-		diff, err := e.Sys.Aion.GetDiff(prev+1, ts+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diff, err := e.Sys.Aion.GetDiffContext(ctx, prev+1, ts+1)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +414,7 @@ func procIncAvg(e *Engine, args []model.Value) (*Result, error) {
 }
 
 // procIncBFS: aion.incremental.bfs(src, start, end, step) -> (ts, reached).
-func procIncBFS(e *Engine, args []model.Value) (*Result, error) {
+func procIncBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.incremental.bfs"); err != nil {
 		return nil, err
 	}
@@ -411,7 +423,7 @@ func procIncBFS(e *Engine, args []model.Value) (*Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("cypher: step must be positive")
 	}
-	g, err := e.Sys.Aion.GraphAt(start)
+	g, err := e.Sys.Aion.GraphAtContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +444,10 @@ func procIncBFS(e *Engine, args []model.Value) (*Result, error) {
 	emit(start)
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
-		diff, err := e.Sys.Aion.GetDiff(prev+1, ts+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diff, err := e.Sys.Aion.GetDiffContext(ctx, prev+1, ts+1)
 		if err != nil {
 			return nil, err
 		}
@@ -450,7 +465,7 @@ func procIncBFS(e *Engine, args []model.Value) (*Result, error) {
 
 // procIncPageRank: aion.incremental.pagerank(start, end, step) ->
 // (ts, iterations, topNode, topRank).
-func procIncPageRank(e *Engine, args []model.Value) (*Result, error) {
+func procIncPageRank(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 3, "aion.incremental.pagerank"); err != nil {
 		return nil, err
 	}
@@ -458,7 +473,7 @@ func procIncPageRank(e *Engine, args []model.Value) (*Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("cypher: step must be positive")
 	}
-	g, err := e.Sys.Aion.GraphAt(start)
+	g, err := e.Sys.Aion.GraphAtContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +502,10 @@ func procIncPageRank(e *Engine, args []model.Value) (*Result, error) {
 	emit(start, pr.Run(g))
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
-		diff, err := e.Sys.Aion.GetDiff(prev+1, ts+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diff, err := e.Sys.Aion.GetDiffContext(ctx, prev+1, ts+1)
 		if err != nil {
 			return nil, err
 		}
@@ -504,11 +522,11 @@ func procIncPageRank(e *Engine, args []model.Value) (*Result, error) {
 
 // procEarliestArrival: aion.temporal.earliestArrival(src, startTime, from,
 // to) -> (node, arrival) over the temporal graph in [from, to).
-func procEarliestArrival(e *Engine, args []model.Value) (*Result, error) {
+func procEarliestArrival(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.temporal.earliestArrival"); err != nil {
 		return nil, err
 	}
-	tg, err := e.Sys.Aion.GetTemporalGraph(model.Timestamp(args[2].Int()), model.Timestamp(args[3].Int()))
+	tg, err := e.Sys.Aion.GetTemporalGraphContext(ctx, model.Timestamp(args[2].Int()), model.Timestamp(args[3].Int()))
 	if err != nil {
 		return nil, err
 	}
@@ -530,11 +548,11 @@ func procEarliestArrival(e *Engine, args []model.Value) (*Result, error) {
 
 // procLatestDeparture: aion.temporal.latestDeparture(tgt, deadline, from,
 // to) -> (node, departure).
-func procLatestDeparture(e *Engine, args []model.Value) (*Result, error) {
+func procLatestDeparture(ctx context.Context, e *Engine, args []model.Value) (*Result, error) {
 	if err := argN(args, 4, "aion.temporal.latestDeparture"); err != nil {
 		return nil, err
 	}
-	tg, err := e.Sys.Aion.GetTemporalGraph(model.Timestamp(args[2].Int()), model.Timestamp(args[3].Int()))
+	tg, err := e.Sys.Aion.GetTemporalGraphContext(ctx, model.Timestamp(args[2].Int()), model.Timestamp(args[3].Int()))
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,17 @@
 package lineagestore
 
 import (
+	"context"
 	"fmt"
 
 	"aion/internal/enc"
 	"aion/internal/model"
 )
+
+// cancelStride is how many scanned index entries pass between cooperative
+// ctx checks: frequent enough that a cancelled query stops in microseconds,
+// sparse enough that the check never shows up in a scan profile.
+const cancelStride = 256
 
 // reconstructNode rebuilds the node state valid at ts by walking the delta
 // chain backwards from the newest version <= ts to the nearest materialized
@@ -114,6 +120,12 @@ func (s *Store) reconstructRelLocked(id model.RelID, ts model.Timestamp) (int, *
 // (exclusive), one entry per version (Table 1). With start == end it
 // returns the single version valid at that instant, if any.
 func (s *Store) GetNode(id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
+	return s.GetNodeContext(context.Background(), id, start, end)
+}
+
+// GetNodeContext is GetNode honouring ctx cancellation: the version range
+// scan checks ctx every cancelStride entries.
+func (s *Store) GetNodeContext(ctx context.Context, id model.NodeID, start, end model.Timestamp) ([]*model.Node, error) {
 	if end < start {
 		return nil, fmt.Errorf("lineagestore: %w: [%d, %d)", model.ErrInvalidInterval, start, end)
 	}
@@ -135,7 +147,13 @@ func (s *Store) GetNode(id model.NodeID, start, end model.Timestamp) ([]*model.N
 			out = append(out, v)
 		}
 	}
+	scanned := 0
 	err = s.nodes.Scan(enc.KeyNode(id, start+1), enc.KeyNode(id, end), func(k, v []byte) bool {
+		if scanned++; scanned%cancelStride == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
 		u, derr := s.codec.DecodeUpdate(v[1:])
 		if derr != nil {
 			err = derr
@@ -199,6 +217,11 @@ func (s *Store) closeRelInterval(id model.RelID, r *model.Rel) {
 // GetRelationship returns the relationship's history between start and end
 // (Table 1); start == end returns the single version at that instant.
 func (s *Store) GetRelationship(id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
+	return s.GetRelationshipContext(context.Background(), id, start, end)
+}
+
+// GetRelationshipContext is GetRelationship honouring ctx cancellation.
+func (s *Store) GetRelationshipContext(ctx context.Context, id model.RelID, start, end model.Timestamp) ([]*model.Rel, error) {
 	if end < start {
 		return nil, fmt.Errorf("lineagestore: %w: [%d, %d)", model.ErrInvalidInterval, start, end)
 	}
@@ -220,7 +243,13 @@ func (s *Store) GetRelationship(id model.RelID, start, end model.Timestamp) ([]*
 			out = append(out, v)
 		}
 	}
+	scanned := 0
 	err = s.rels.Scan(enc.KeyRel(id, start+1), enc.KeyRel(id, end), func(k, v []byte) bool {
+		if scanned++; scanned%cancelStride == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
 		u, derr := s.codec.DecodeUpdate(v[1:])
 		if derr != nil {
 			err = derr
@@ -266,13 +295,20 @@ func (s *Store) GetRelationship(id model.RelID, start, end model.Timestamp) ([]*
 // liveRelsAt returns the ids of the relationships incident to a node in
 // the given direction that are live at ts, via a range scan over the
 // neighbour indexes (Sec 4.4).
-func (s *Store) liveRelsAt(id model.NodeID, d model.Direction, ts model.Timestamp) ([]model.RelID, error) {
+func (s *Store) liveRelsAt(ctx context.Context, id model.NodeID, d model.Direction, ts model.Timestamp) ([]model.RelID, error) {
 	live := map[model.RelID]bool{}
 	var order []model.RelID
+	scanned := 0
+	var cerr error
 	scan := func(tree interface {
 		Scan(low, high []byte, fn func(k, v []byte) bool) error
 	}) error {
-		return tree.Scan(enc.KeyNeighPrefix(id), enc.KeyNeighPrefix(id+1), func(k, v []byte) bool {
+		err := tree.Scan(enc.KeyNeighPrefix(id), enc.KeyNeighPrefix(id+1), func(k, v []byte) bool {
+			if scanned++; scanned%cancelStride == 0 {
+				if cerr = ctx.Err(); cerr != nil {
+					return false
+				}
+			}
 			_, _, ets, _ := enc.ParseKeyNeigh4(k)
 			if ets > ts {
 				return true // later event; skip (entries per neighbour are time-ordered)
@@ -290,6 +326,10 @@ func (s *Store) liveRelsAt(id model.NodeID, d model.Direction, ts model.Timestam
 			}
 			return true
 		})
+		if cerr != nil {
+			return cerr
+		}
+		return err
 	}
 	if d == model.Outgoing || d == model.Both {
 		if err := scan(s.out); err != nil {
@@ -317,17 +357,29 @@ func (s *Store) liveRelsAt(id model.NodeID, d model.Direction, ts model.Timestam
 // holding its versions in the interval. With start == end it returns the
 // relationships live at that instant, one version each.
 func (s *Store) GetRelationships(id model.NodeID, d model.Direction, start, end model.Timestamp) ([][]*model.Rel, error) {
+	return s.GetRelationshipsContext(context.Background(), id, d, start, end)
+}
+
+// GetRelationshipsContext is GetRelationships honouring ctx cancellation:
+// both the neighbour-index collection scans and the per-relationship
+// version loops are cancellation points.
+func (s *Store) GetRelationshipsContext(ctx context.Context, id model.NodeID, d model.Direction, start, end model.Timestamp) ([][]*model.Rel, error) {
 	if end < start {
 		return nil, fmt.Errorf("lineagestore: %w: [%d, %d)", model.ErrInvalidInterval, start, end)
 	}
 	if start == end {
-		ids, err := s.liveRelsAt(id, d, start)
+		ids, err := s.liveRelsAt(ctx, id, d, start)
 		if err != nil {
 			return nil, err
 		}
 		var out [][]*model.Rel
-		for _, rid := range ids {
-			vs, err := s.GetRelationship(rid, start, start)
+		for i, rid := range ids {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			vs, err := s.GetRelationshipContext(ctx, rid, start, start)
 			if err != nil {
 				return nil, err
 			}
@@ -341,10 +393,17 @@ func (s *Store) GetRelationships(id model.NodeID, d model.Direction, start, end 
 	// overlaps the window.
 	candidates := map[model.RelID]bool{}
 	var order []model.RelID
+	scanned := 0
+	var cerr error
 	collect := func(tree interface {
 		Scan(low, high []byte, fn func(k, v []byte) bool) error
 	}) error {
-		return tree.Scan(enc.KeyNeighPrefix(id), enc.KeyNeighPrefix(id+1), func(k, v []byte) bool {
+		err := tree.Scan(enc.KeyNeighPrefix(id), enc.KeyNeighPrefix(id+1), func(k, v []byte) bool {
+			if scanned++; scanned%cancelStride == 0 {
+				if cerr = ctx.Err(); cerr != nil {
+					return false
+				}
+			}
 			_, _, ets, _ := enc.ParseKeyNeigh4(k)
 			if ets >= end {
 				return true
@@ -356,6 +415,10 @@ func (s *Store) GetRelationships(id model.NodeID, d model.Direction, start, end 
 			}
 			return true
 		})
+		if cerr != nil {
+			return cerr
+		}
+		return err
 	}
 	if d == model.Outgoing || d == model.Both {
 		if err := collect(s.out); err != nil {
@@ -368,8 +431,13 @@ func (s *Store) GetRelationships(id model.NodeID, d model.Direction, start, end 
 		}
 	}
 	var out [][]*model.Rel
-	for _, rid := range order {
-		vs, err := s.GetRelationship(rid, start, end)
+	for i, rid := range order {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		vs, err := s.GetRelationshipContext(ctx, rid, start, end)
 		if err != nil {
 			return nil, err
 		}
@@ -384,13 +452,23 @@ func (s *Store) GetRelationships(id model.NodeID, d model.Direction, start, end 
 // translated directly to index lookups. The result holds one slice per hop
 // with per-hop deduplication, exactly as in the paper's pseudocode.
 func (s *Store) Expand(id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
+	return s.ExpandContext(context.Background(), id, d, hops, ts)
+}
+
+// ExpandContext is Expand honouring ctx cancellation: the frontier loop
+// checks ctx before expanding each node, so even a densely connected
+// neighbourhood stops within one node's worth of index lookups.
+func (s *Store) ExpandContext(ctx context.Context, id model.NodeID, d model.Direction, hops int, ts model.Timestamp) ([][]*model.Node, error) {
 	result := make([][]*model.Node, hops)
 	queue := []model.NodeID{id}
 	for hop := 0; hop < hops; hop++ {
 		visited := map[model.NodeID]bool{} // S: visited in current hop
 		var next []model.NodeID
 		for _, cid := range queue {
-			relIDs, err := s.liveRelsAt(cid, d, ts)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			relIDs, err := s.liveRelsAt(ctx, cid, d, ts)
 			if err != nil {
 				return nil, err
 			}

@@ -8,6 +8,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -116,6 +117,41 @@ func RunOrdered[J, R any](workers int,
 		return cerr
 	}
 	return perr
+}
+
+// RunOrderedCtx is RunOrdered with cooperative cancellation: the producer
+// stops emitting and the consumer stops consuming as soon as ctx is done,
+// and the context's error is returned. The worker stage is not interrupted
+// mid-item — jobs are small by construction (bounded batches), so
+// cancellation latency is one job, not one pipeline. A context that can
+// never be cancelled (ctx.Done() == nil) adds no per-item overhead.
+func RunOrderedCtx[J, R any](ctx context.Context, workers int,
+	produce func(emit func(J) bool) error,
+	work func(J) (R, error),
+	consume func(R) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return RunOrdered(workers, produce, work, consume)
+	}
+	err := RunOrdered(workers,
+		func(emit func(J) bool) error {
+			return produce(func(j J) bool {
+				if ctx.Err() != nil {
+					return false
+				}
+				return emit(j)
+			})
+		},
+		work,
+		func(r R) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return consume(r)
+		})
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 func runOrderedInline[J, R any](produce func(emit func(J) bool) error,

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -177,5 +178,88 @@ func TestRunOrderedEmpty(t *testing.T) {
 func TestDefaultWorkers(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatal("DefaultWorkers must be positive")
+	}
+}
+
+// TestRunOrderedCtxCancel cancels the context partway through a long
+// emission and checks the pipeline stops promptly with ctx's error instead
+// of draining all jobs.
+func TestRunOrderedCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumed atomic.Int64
+	err := RunOrderedCtx(ctx, 4,
+		func(emit func(int) bool) error {
+			for i := 0; i < 1_000_000; i++ {
+				if i == 100 {
+					cancel()
+				}
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { return i, nil },
+		func(r int) error { consumed.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := consumed.Load(); n >= 1_000_000 {
+		t.Errorf("consumed %d jobs after cancel", n)
+	}
+}
+
+// TestRunOrderedCtxUncancellable checks the fast path: a context that can
+// never fire behaves exactly like plain RunOrdered.
+func TestRunOrderedCtxUncancellable(t *testing.T) {
+	var sum int
+	err := RunOrderedCtx(context.Background(), 4,
+		func(emit func(int) bool) error {
+			for i := 1; i <= 100; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { return i, nil },
+		func(r int) error { sum += r; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5050 {
+		t.Errorf("sum = %d, want 5050", sum)
+	}
+}
+
+// TestRunOrderedCtxStop checks that a consumer returning ErrStop still maps
+// to a nil error under the ctx wrapper.
+func TestRunOrderedCtxStop(t *testing.T) {
+	// A cancellable (but never cancelled) context forces the slow path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var consumed int
+	err := RunOrderedCtx(ctx, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 100; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { return i, nil },
+		func(r int) error {
+			consumed++
+			if consumed == 5 {
+				return ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("ErrStop leaked: %v", err)
+	}
+	if consumed != 5 {
+		t.Errorf("consumed %d, want 5", consumed)
 	}
 }

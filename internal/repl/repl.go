@@ -6,9 +6,11 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"aion/internal/bolt"
 	"aion/internal/cypher"
@@ -20,12 +22,22 @@ type Executor interface {
 	Execute(query string) (cols []string, rows [][]cypher.Val, sum *bolt.Summary, err error)
 }
 
-// EmbeddedExecutor runs statements on an in-process engine.
-type EmbeddedExecutor struct{ Engine *cypher.Engine }
+// EmbeddedExecutor runs statements on an in-process engine. A non-zero
+// Timeout bounds each statement with a context deadline.
+type EmbeddedExecutor struct {
+	Engine  *cypher.Engine
+	Timeout time.Duration
+}
 
 // Execute implements Executor.
 func (e EmbeddedExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Summary, error) {
-	res, err := e.Engine.Query(q, nil)
+	ctx := context.Background()
+	if e.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Timeout)
+		defer cancel()
+	}
+	res, err := e.Engine.QueryContext(ctx, q, nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -37,12 +49,16 @@ func (e EmbeddedExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Sum
 	return res.Columns, res.Rows, sum, nil
 }
 
-// RemoteExecutor runs statements over a Bolt client.
-type RemoteExecutor struct{ Client *bolt.Client }
+// RemoteExecutor runs statements over a Bolt client. A non-zero Timeout is
+// sent with each RUN as the requested server-side deadline.
+type RemoteExecutor struct {
+	Client  *bolt.Client
+	Timeout time.Duration
+}
 
 // Execute implements Executor.
 func (e RemoteExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Summary, error) {
-	return e.Client.Run(q, nil)
+	return e.Client.RunTimeout(q, nil, e.Timeout)
 }
 
 // Run drives the loop: one statement per line, `:quit` / `:q` / `exit` to

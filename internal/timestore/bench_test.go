@@ -1,6 +1,7 @@
 package timestore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -100,7 +101,7 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 			s.opts.ParallelIO = lvl.par
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				g, err := s.loadSnapshotFile(files[0], midTS)
+				g, err := s.loadSnapshotFile(context.Background(), files[0], midTS)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -10,6 +10,7 @@ package timestore
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -143,17 +144,18 @@ func (s *Store) writeSnapshotFileParallel(path string, g *memgraph.Graph) (int64
 	return written, f.Close()
 }
 
-// loadSnapshotFile materializes a snapshot file into a fresh graph.
-// ParallelIO > 1 runs the 3-stage pipeline: sequential frame reader →
-// CRC+decode workers → in-order ApplyAll batches.
-func (s *Store) loadSnapshotFile(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+// loadSnapshotFile materializes a snapshot file into a fresh graph,
+// observing ctx cancellation between frame batches. ParallelIO > 1 runs the
+// 3-stage pipeline: sequential frame reader → CRC+decode workers →
+// in-order ApplyAll batches.
+func (s *Store) loadSnapshotFile(ctx context.Context, path string, ts model.Timestamp) (*memgraph.Graph, error) {
 	if s.opts.ParallelIO > 1 {
-		return s.loadSnapshotFileParallel(path, ts)
+		return s.loadSnapshotFileParallel(ctx, path, ts)
 	}
-	return s.loadSnapshotFileSeq(path, ts)
+	return s.loadSnapshotFileSeq(ctx, path, ts)
 }
 
-func (s *Store) loadSnapshotFileParallel(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+func (s *Store) loadSnapshotFileParallel(ctx context.Context, path string, ts model.Timestamp) (*memgraph.Graph, error) {
 	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
@@ -165,7 +167,7 @@ func (s *Store) loadSnapshotFileParallel(path string, ts model.Timestamp) (*memg
 	}
 	r := bufio.NewReaderSize(sr, 1<<16)
 	g := memgraph.New()
-	err = pool.RunOrdered(s.opts.ParallelIO,
+	err = pool.RunOrderedCtx(ctx, s.opts.ParallelIO,
 		func(emit func(frameBatch) bool) error {
 			var hdr [8]byte
 			eof := false
@@ -240,17 +242,22 @@ func growBytes(b []byte, n int) []byte {
 }
 
 // replayLog streams decoded updates (with their log offsets) starting at
-// log offset from, in commit order, stopping early when fn returns false.
-// It is the shared replay engine of recover, ScanDiff, and therefore
+// log offset from, in commit order, stopping early when fn returns false
+// or ctx is cancelled (cancellation is checked once per readahead batch,
+// so a runaway range scan stops within one batch of the deadline). It is
+// the shared replay engine of recover, ScanDiff, and therefore
 // GetGraph/GetGraphs: the WAL is scanned with readahead batches and, when
 // ParallelIO > 1, record decoding runs on the worker stage while fn (index
 // maintenance, graph apply) stays in order on the calling goroutine.
-func (s *Store) replayLog(from int64, fn func(off int64, u model.Update) bool) error {
+func (s *Store) replayLog(ctx context.Context, from int64, fn func(off int64, u model.Update) bool) error {
 	if s.opts.ParallelIO > 1 {
-		return s.replayLogParallel(from, fn)
+		return s.replayLogParallel(ctx, from, fn)
 	}
 	var derr error
 	_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
+		if derr = ctx.Err(); derr != nil {
+			return false
+		}
 		for _, fr := range frames {
 			u, e := s.codec.DecodeUpdate(fr.Payload)
 			if e != nil {
@@ -269,8 +276,8 @@ func (s *Store) replayLog(from int64, fn func(off int64, u model.Update) bool) e
 	return err
 }
 
-func (s *Store) replayLogParallel(from int64, fn func(off int64, u model.Update) bool) error {
-	return pool.RunOrdered(s.opts.ParallelIO,
+func (s *Store) replayLogParallel(ctx context.Context, from int64, fn func(off int64, u model.Update) bool) error {
+	return pool.RunOrderedCtx(ctx, s.opts.ParallelIO,
 		func(emit func(frameBatch) bool) error {
 			stopped := false
 			_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {

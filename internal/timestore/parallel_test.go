@@ -2,6 +2,7 @@ package timestore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -103,7 +104,7 @@ func TestParallelLoadRoundTrip(t *testing.T) {
 		lastTS := us[len(us)-1].TS
 		for _, loadPar := range []int{1, 4} {
 			s.opts.ParallelIO = loadPar
-			g, err := s.loadSnapshotFile(path, lastTS)
+			g, err := s.loadSnapshotFile(context.Background(), path, lastTS)
 			if err != nil {
 				t.Fatalf("write par=%d load par=%d: %v", par, loadPar, err)
 			}

@@ -1,6 +1,7 @@
 package timestore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -9,12 +10,24 @@ import (
 	"aion/internal/model"
 )
 
+// The query API comes in pairs following the database/sql convention:
+// Xxx(...) is shorthand for XxxContext(context.Background(), ...), and the
+// Context variant observes cancellation and deadlines cooperatively — the
+// log-replay and snapshot-load loops (the two unbounded parts of any
+// global query) stop within one readahead batch of the context firing and
+// return ctx.Err().
+
 // GetDiff returns all graph updates with start <= ts < end in commit order
 // (Table 1). It locates the first log offset through the time index and
 // then performs one sequential range scan over the log.
 func (s *Store) GetDiff(start, end model.Timestamp) ([]model.Update, error) {
+	return s.GetDiffContext(context.Background(), start, end)
+}
+
+// GetDiffContext is GetDiff honouring ctx cancellation.
+func (s *Store) GetDiffContext(ctx context.Context, start, end model.Timestamp) ([]model.Update, error) {
 	var out []model.Update
-	err := s.ScanDiff(start, end, func(u model.Update) bool {
+	err := s.ScanDiffContext(ctx, start, end, func(u model.Update) bool {
 		out = append(out, u)
 		return true
 	})
@@ -24,6 +37,11 @@ func (s *Store) GetDiff(start, end model.Timestamp) ([]model.Update, error) {
 // ScanDiff streams the updates with start <= ts < end to fn in commit
 // order, stopping early if fn returns false.
 func (s *Store) ScanDiff(start, end model.Timestamp, fn func(u model.Update) bool) error {
+	return s.ScanDiffContext(context.Background(), start, end, fn)
+}
+
+// ScanDiffContext is ScanDiff honouring ctx cancellation.
+func (s *Store) ScanDiffContext(ctx context.Context, start, end model.Timestamp, fn func(u model.Update) bool) error {
 	if start >= end {
 		return nil
 	}
@@ -39,7 +57,7 @@ func (s *Store) ScanDiff(start, end model.Timestamp, fn func(u model.Update) boo
 	if off < 0 {
 		return nil // no updates at or after start
 	}
-	return s.replayLog(off, func(_ int64, u model.Update) bool {
+	return s.replayLog(ctx, off, func(_ int64, u model.Update) bool {
 		if u.TS >= end {
 			return false
 		}
@@ -52,11 +70,17 @@ func (s *Store) ScanDiff(start, end model.Timestamp, fn func(u model.Update) boo
 // the forward changes from the log (Sec 4.3). The returned graph is private
 // to the caller.
 func (s *Store) GetGraph(ts model.Timestamp) (*memgraph.Graph, error) {
-	g, snapTS, err := s.baseSnapshot(ts)
+	return s.GetGraphContext(context.Background(), ts)
+}
+
+// GetGraphContext is GetGraph honouring ctx cancellation: both halves of
+// the materialization (snapshot load, log replay) are cancellation points.
+func (s *Store) GetGraphContext(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, error) {
+	g, snapTS, err := s.baseSnapshot(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
-	err = s.ScanDiff(snapTS+1, ts+1, func(u model.Update) bool {
+	err = s.ScanDiffContext(ctx, snapTS+1, ts+1, func(u model.Update) bool {
 		if aerr := g.Apply(u); aerr != nil {
 			err = fmt.Errorf("timestore: replay: %w", aerr)
 			return false
@@ -72,7 +96,7 @@ func (s *Store) GetGraph(ts model.Timestamp) (*memgraph.Graph, error) {
 
 // baseSnapshot returns a mutable graph at the closest snapshot time <= ts:
 // first the in-memory GraphStore, then disk, then the empty graph at -1.
-func (s *Store) baseSnapshot(ts model.Timestamp) (*memgraph.Graph, model.Timestamp, error) {
+func (s *Store) baseSnapshot(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, model.Timestamp, error) {
 	if g, snapTS, ok := s.gs.Floor(ts); ok {
 		return g, snapTS, nil
 	}
@@ -82,7 +106,7 @@ func (s *Store) baseSnapshot(ts model.Timestamp) (*memgraph.Graph, model.Timesta
 	}
 	if ok {
 		snapTS := model.Timestamp(binary.BigEndian.Uint64(k)) // 8-byte ts prefix
-		g, err := s.loadSnapshotFile(string(v), snapTS)
+		g, err := s.loadSnapshotFile(ctx, string(v), snapTS)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -100,13 +124,18 @@ func (s *Store) baseSnapshot(ts model.Timestamp) (*memgraph.Graph, model.Timesta
 // (Table 1: "getGraph(1993, 2023, 1-year) returns thirty snapshots").
 // The series covers timestamps start <= ts <= end.
 func (s *Store) GetGraphs(start, end model.Timestamp, step model.Timestamp) ([]*memgraph.Graph, error) {
+	return s.GetGraphsContext(context.Background(), start, end, step)
+}
+
+// GetGraphsContext is GetGraphs honouring ctx cancellation.
+func (s *Store) GetGraphsContext(ctx context.Context, start, end model.Timestamp, step model.Timestamp) ([]*memgraph.Graph, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("timestore: step must be positive")
 	}
 	if end < start {
 		return nil, fmt.Errorf("timestore: end %d before start %d", end, start)
 	}
-	g, snapTS, err := s.baseSnapshot(start)
+	g, snapTS, err := s.baseSnapshot(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +148,7 @@ func (s *Store) GetGraphs(start, end model.Timestamp, step model.Timestamp) ([]*
 			next += step
 		}
 	}
-	err = s.ScanDiff(snapTS+1, end+1, func(u model.Update) bool {
+	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
 		emitThrough(u.TS - 1) // snapshots strictly before this update's time
 		if aerr := g.Apply(u); aerr != nil {
 			err = fmt.Errorf("timestore: replay: %w", aerr)
@@ -139,13 +168,18 @@ func (s *Store) GetGraphs(start, end model.Timestamp, step model.Timestamp) ([]*
 // snapshot is handed to fn as it materializes and may be retained only by
 // cloning; iteration stops early when fn returns false.
 func (s *Store) ScanGraphs(start, end, step model.Timestamp, fn func(g *memgraph.Graph) bool) error {
+	return s.ScanGraphsContext(context.Background(), start, end, step, fn)
+}
+
+// ScanGraphsContext is ScanGraphs honouring ctx cancellation.
+func (s *Store) ScanGraphsContext(ctx context.Context, start, end, step model.Timestamp, fn func(g *memgraph.Graph) bool) error {
 	if step <= 0 {
 		return fmt.Errorf("timestore: step must be positive")
 	}
 	if end < start {
 		return fmt.Errorf("timestore: end %d before start %d", end, start)
 	}
-	g, snapTS, err := s.baseSnapshot(start)
+	g, snapTS, err := s.baseSnapshot(ctx, start)
 	if err != nil {
 		return err
 	}
@@ -161,7 +195,7 @@ func (s *Store) ScanGraphs(start, end, step model.Timestamp, fn func(g *memgraph
 		}
 		return true
 	}
-	err = s.ScanDiff(snapTS+1, end+1, func(u model.Update) bool {
+	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
 		if !emitThrough(u.TS - 1) {
 			stopped = true
 			return false
@@ -183,7 +217,12 @@ func (s *Store) ScanGraphs(start, end, step model.Timestamp, fn func(g *memgraph
 // start seeds the initial versions, and every update in the interval
 // appends to the version chains (Table 1).
 func (s *Store) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, error) {
-	base, err := s.GetGraph(start)
+	return s.GetTemporalGraphContext(context.Background(), start, end)
+}
+
+// GetTemporalGraphContext is GetTemporalGraph honouring ctx cancellation.
+func (s *Store) GetTemporalGraphContext(ctx context.Context, start, end model.Timestamp) (*memgraph.TGraph, error) {
+	base, err := s.GetGraphContext(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +245,7 @@ func (s *Store) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, 
 	if aerr != nil {
 		return nil, aerr
 	}
-	err = s.ScanDiff(start+1, end, func(u model.Update) bool {
+	err = s.ScanDiffContext(ctx, start+1, end, func(u model.Update) bool {
 		if e := tg.Apply(u); e != nil {
 			aerr = e
 			return false
@@ -225,7 +264,12 @@ func (s *Store) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, 
 // at start even if untouched inside the window. Entities take their last
 // state within the window.
 func (s *Store) GetWindow(start, end model.Timestamp) (*memgraph.Graph, error) {
-	tg, err := s.GetTemporalGraph(start, end)
+	return s.GetWindowContext(context.Background(), start, end)
+}
+
+// GetWindowContext is GetWindow honouring ctx cancellation.
+func (s *Store) GetWindowContext(ctx context.Context, start, end model.Timestamp) (*memgraph.Graph, error) {
+	tg, err := s.GetTemporalGraphContext(ctx, start, end)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ package timestore
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -323,7 +324,7 @@ func (s *Store) recover() (err error) {
 		}
 		latest := memgraph.New()
 		if basePath != "" {
-			latest, err = s.loadSnapshotFile(basePath, baseTS)
+			latest, err = s.loadSnapshotFile(context.Background(), basePath, baseTS)
 			if err != nil {
 				return err
 			}
@@ -336,7 +337,7 @@ func (s *Store) recover() (err error) {
 		// stage as query replay, so reopening a large store scales with cores.
 		s.lastTS, s.seq, s.updateCount = 0, 0, 0
 		var replayErr error
-		err = s.replayLog(0, func(off int64, u model.Update) bool {
+		err = s.replayLog(context.Background(), 0, func(off int64, u model.Update) bool {
 			s.updateCount++
 			if u.TS == s.lastTS && s.updateCount > 1 {
 				s.seq++
@@ -592,7 +593,7 @@ func (s *Store) writeSnapshotFileSeq(path string, g *memgraph.Graph) (int64, err
 	return written, f.Close()
 }
 
-func (s *Store) loadSnapshotFileSeq(path string, ts model.Timestamp) (*memgraph.Graph, error) {
+func (s *Store) loadSnapshotFileSeq(ctx context.Context, path string, ts model.Timestamp) (*memgraph.Graph, error) {
 	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
@@ -605,7 +606,14 @@ func (s *Store) loadSnapshotFileSeq(path string, ts model.Timestamp) (*memgraph.
 	r := bufio.NewReaderSize(sr, 1<<16)
 	g := memgraph.New()
 	var hdr [8]byte
-	for {
+	for records := 0; ; records++ {
+		// Snapshot files can hold millions of records; a stride check keeps
+		// a cancelled load from running to completion anyway.
+		if records%frameBatchRecords == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if err == io.EOF {
 				break

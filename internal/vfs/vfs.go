@@ -106,7 +106,7 @@ func (osFS) Open(path string) (File, error) {
 	return osFile{f}, nil
 }
 
-func (osFS) Remove(path string) error            { return os.Remove(path) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
 func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 
 func (osFS) Stat(path string) (int64, error) {
