@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke stress
+.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzer suite (cmd/aionlint): vfs-seam, dropped
+# durability errors, cancellation-blind loops, fsync-under-lock. Fails on
+# any unsuppressed finding; see README for the suppression syntax.
+lint:
+	$(GO) run ./cmd/aionlint
+
+# Atomic-mode coverage over internal/; the per-package breakdown is the
+# CI-visible artifact.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # One iteration of the read-path benchmarks: enough to catch regressions in
 # the pipeline wiring without a full benchmark run.

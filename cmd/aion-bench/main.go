@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"aion/internal/bench"
+	"aion/internal/vfs"
 )
 
 func main() {
@@ -46,14 +47,15 @@ func main() {
 	base := *workdir
 	if base == "" {
 		var err error
-		base, err = os.MkdirTemp("", "aion-bench-*")
+		base, err = vfs.MkdirTemp("", "aion-bench-*")
 		if err != nil {
 			fail(err)
 		}
+		//aionlint:ignore vfsseam operator scratch cleanup of a temp dir this process created; store files are never removed through this path
 		defer os.RemoveAll(base)
 	}
 	mkdir := func(name string) string {
-		d, err := os.MkdirTemp(base, strings.ReplaceAll(name, "/", "_")+"-*")
+		d, err := vfs.MkdirTemp(base, strings.ReplaceAll(name, "/", "_")+"-*")
 		if err != nil {
 			fail(err)
 		}

@@ -19,6 +19,7 @@ import (
 	"aion/internal/bolt"
 	"aion/internal/cypher"
 	"aion/internal/system"
+	"aion/internal/vfs"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func main() {
 
 	opts := system.Options{Dir: *dir}
 	if *dir == "" {
-		d, err := os.MkdirTemp("", "aion-server-*")
+		d, err := vfs.MkdirTemp("", "aion-server-*")
 		if err != nil {
 			fail(err)
 		}

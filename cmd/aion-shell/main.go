@@ -26,6 +26,7 @@ import (
 	"aion/internal/cypher"
 	"aion/internal/repl"
 	"aion/internal/system"
+	"aion/internal/vfs"
 )
 
 func main() {
@@ -48,7 +49,7 @@ func main() {
 	} else {
 		opts := system.Options{Dir: *dir}
 		if *dir == "" {
-			d, err := os.MkdirTemp("", "aion-shell-*")
+			d, err := vfs.MkdirTemp("", "aion-shell-*")
 			if err != nil {
 				fail(err)
 			}

@@ -1,0 +1,101 @@
+// Command aionlint runs the repo-specific static analyzer suite
+// (internal/lint) over the Aion tree. It exists because the invariants
+// the crash sweeps and the serving contract depend on — vfs-seam-only
+// I/O, fail-stop durability errors, cancellable scan loops, no fsync
+// under a lock — are system-wide conventions no compiler checks.
+//
+// Usage:
+//
+//	aionlint [flags] [patterns...]
+//
+// Patterns default to ./internal/... ./cmd/... and are interpreted
+// relative to the module root (found by walking up from -root). The exit
+// status is 0 when the tree is clean, 1 when any unsuppressed finding or
+// type-check failure remains, and 2 on a driver error.
+//
+// Suppress an individual finding, with a reason, on the offending line
+// or the line above it:
+//
+//	//aionlint:ignore <code> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aion/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	root := flag.String("root", ".", "directory inside the module to lint")
+	verbose := flag.Bool("v", false, "also list suppressed findings and their reasons")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	codes := flag.String("analyzers", "", "comma-separated analyzer codes to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Code, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByCode(*codes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// Type-check failures degrade the analyzers to syntactic heuristics,
+	// so they fail the run: a lint pass that silently lost its type
+	// information is not a pass.
+	typeErrs := 0
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "typecheck: %v\n", e)
+			typeErrs++
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s [suppressed: %s]\n", f, f.SuppressReason)
+			}
+			continue
+		}
+		fmt.Println(f)
+	}
+
+	bad := lint.Unsuppressed(findings)
+	fmt.Fprintf(os.Stderr, "aionlint: %d packages, %d findings (%d suppressed), %d type errors\n",
+		len(pkgs), bad+suppressed, suppressed, typeErrs)
+	if bad > 0 || typeErrs > 0 {
+		return 1
+	}
+	return 0
+}

@@ -13,6 +13,10 @@ import (
 // not configured with (e.g. global queries in lineage-only mode).
 var ErrNoStore = errors.New("aion: required temporal store not configured")
 
+// cancelStride is how many items pass between cooperative ctx checks in
+// the API-level result-assembly loops; the stores bound their own scans.
+const cancelStride = 1024
+
 // The read API comes in pairs following the database/sql convention:
 // Xxx(...) is shorthand for XxxContext(context.Background(), ...), and the
 // Context variant observes cancellation cooperatively through both stores —
@@ -171,14 +175,24 @@ func (db *DB) GetRelationshipsContext(ctx context.Context, id model.NodeID, d mo
 			}
 		}
 	}
-	for _, r := range tg.RelsAt(id, d, start) {
+	for i, r := range tg.RelsAt(id, d, start) {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		addRel(r.ID)
 	}
 	diff, err := db.ts.GetDiffContext(ctx, start+1, end)
 	if err != nil {
 		return nil, err
 	}
-	for _, u := range diff {
+	for i, u := range diff {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if u.Kind != model.OpAddRel {
 			continue
 		}

@@ -13,7 +13,6 @@ package aion
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -111,7 +110,7 @@ func Open(opts Options) (*DB, error) {
 		if opts.FS != nil {
 			opts.Dir = "aion"
 		} else {
-			dir, err := os.MkdirTemp("", "aion-*")
+			dir, err := vfs.MkdirTemp("", "aion-*")
 			if err != nil {
 				return nil, err
 			}
@@ -121,14 +120,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.AsyncQueueDepth <= 0 {
 		opts.AsyncQueueDepth = 1024
 	}
-	if opts.FS == nil {
-		for _, sub := range []string{"timestore", "lineage"} {
-			if err := os.MkdirAll(filepath.Join(opts.Dir, sub), 0o755); err != nil {
-				return nil, err
-			}
+	fs := vfs.OrOS(opts.FS)
+	for _, sub := range []string{"timestore", "lineage"} {
+		if err := vfs.MkdirAll(fs, filepath.Join(opts.Dir, sub)); err != nil {
+			return nil, err
 		}
 	}
-	strings, err := strstore.OpenFS(vfs.OrOS(opts.FS), filepath.Join(opts.Dir, "strings.db"))
+	strings, err := strstore.OpenFS(fs, filepath.Join(opts.Dir, "strings.db"))
 	if err != nil {
 		return nil, err
 	}

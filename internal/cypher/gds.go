@@ -17,6 +17,12 @@ import (
 
 func init() { /* registered from registerBuiltins */ }
 
+// cancelStride is how many result rows pass between cooperative ctx checks
+// in the row-assembly loops below: the projections and algorithms bound
+// their own work, but result sets are O(nodes) and must still observe a
+// deadline that fires mid-assembly.
+const cancelStride = 1024
+
 func registerGDS(e *Engine) {
 	e.Register("aion.gds.pagerank", procGDSPageRank)
 	e.Register("aion.gds.wcc", procGDSWCC)
@@ -44,6 +50,11 @@ func procGDSPageRank(ctx context.Context, e *Engine, args []model.Value) (*Resul
 	}
 	rows := make([]nr, 0, c.N)
 	for i, sid := range c.Dense.ToSparse {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rows = append(rows, nr{sid, ranks[i]})
 	}
 	sort.Slice(rows, func(a, b int) bool {
@@ -57,7 +68,12 @@ func procGDSPageRank(ctx context.Context, e *Engine, args []model.Value) (*Resul
 		rows = rows[:k]
 	}
 	res := &Result{Columns: []string{"node", "rank"}}
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{
 			ScalarVal(model.IntValue(int64(r.id))),
 			ScalarVal(model.FloatValue(r.rank)),
@@ -77,7 +93,12 @@ func procGDSWCC(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 	}
 	comp := algo.WCC(g)
 	sizes := map[int32]int64{}
-	for _, c := range comp {
+	for i, c := range comp {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if c >= 0 {
 			sizes[c]++
 		}
@@ -87,7 +108,13 @@ func procGDSWCC(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 		size int64
 	}
 	var rows []cs
+	scanned := 0
 	for id, n := range sizes {
+		if scanned++; scanned%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rows = append(rows, cs{id, n})
 	}
 	sort.Slice(rows, func(a, b int) bool {
@@ -97,7 +124,12 @@ func procGDSWCC(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 		return rows[a].id < rows[b].id
 	})
 	res := &Result{Columns: []string{"component", "size"}}
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{
 			ScalarVal(model.IntValue(int64(r.id))),
 			ScalarVal(model.IntValue(r.size)),
@@ -134,6 +166,11 @@ func procGDSBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 	levels := algo.BFS(g, model.NodeID(args[0].Int()))
 	res := &Result{Columns: []string{"node", "level"}}
 	for id, l := range levels {
+		if id%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if l >= 0 {
 			res.Rows = append(res.Rows, []Val{
 				ScalarVal(model.IntValue(int64(id))),
@@ -156,6 +193,11 @@ func procGDSSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, e
 	dist := algo.SSSP(g, model.NodeID(args[0].Int()), args[2].Str())
 	res := &Result{Columns: []string{"node", "distance"}}
 	for id, d := range dist {
+		if id%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if d < 1e308 { // reachable
 			res.Rows = append(res.Rows, []Val{
 				ScalarVal(model.IntValue(int64(id))),

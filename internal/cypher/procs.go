@@ -120,10 +120,15 @@ func procIncSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, e
 	}
 	s := incremental.NewSSSP(g, src, prop)
 	res := &Result{Columns: []string{"ts", "reached", "maxDistance"}}
-	emit := func(ts model.Timestamp) {
+	emit := func(ts model.Timestamp) error {
 		reached := 0
 		maxD := 0.0
-		for _, d := range s.Distances() {
+		for i, d := range s.Distances() {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if d < 1e308 {
 				reached++
 				if d > maxD {
@@ -136,8 +141,11 @@ func procIncSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, e
 			ScalarVal(model.IntValue(int64(reached))),
 			ScalarVal(model.FloatValue(maxD)),
 		})
+		return nil
 	}
-	emit(start)
+	if err := emit(start); err != nil {
+		return nil, err
+	}
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
 		if err := ctx.Err(); err != nil {
@@ -153,7 +161,9 @@ func procIncSSSP(ctx context.Context, e *Engine, args []model.Value) (*Result, e
 			}
 		}
 		s.ApplyDiff(g, diff)
-		emit(ts)
+		if err := emit(ts); err != nil {
+			return nil, err
+		}
 		prev = ts
 	}
 	return res, nil
@@ -214,7 +224,12 @@ func procNode(ctx context.Context, e *Engine, args []model.Value) (*Result, erro
 		return nil, err
 	}
 	res := &Result{Columns: []string{"node", "validFrom", "validTo"}}
-	for _, n := range ns {
+	for i, n := range ns {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{NodeVal(n),
 			ScalarVal(model.IntValue(int64(n.Valid.Start))),
 			ScalarVal(model.IntValue(int64(n.Valid.End)))})
@@ -233,7 +248,12 @@ func procRelationship(ctx context.Context, e *Engine, args []model.Value) (*Resu
 		return nil, err
 	}
 	res := &Result{Columns: []string{"rel", "validFrom", "validTo"}}
-	for _, r := range rs {
+	for i, r := range rs {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{RelVal(r),
 			ScalarVal(model.IntValue(int64(r.Valid.Start))),
 			ScalarVal(model.IntValue(int64(r.Valid.End)))})
@@ -252,8 +272,14 @@ func procRelationships(ctx context.Context, e *Engine, args []model.Value) (*Res
 		return nil, err
 	}
 	res := &Result{Columns: []string{"rel", "validFrom", "validTo"}}
+	scanned := 0
 	for _, hist := range hists {
 		for _, r := range hist {
+			if scanned++; scanned%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			res.Rows = append(res.Rows, []Val{RelVal(r),
 				ScalarVal(model.IntValue(int64(r.Valid.Start))),
 				ScalarVal(model.IntValue(int64(r.Valid.End)))})
@@ -273,8 +299,14 @@ func procExpand(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 		return nil, err
 	}
 	res := &Result{Columns: []string{"hop", "node"}}
+	scanned := 0
 	for h, ns := range hops {
 		for _, n := range ns {
+			if scanned++; scanned%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			res.Rows = append(res.Rows, []Val{
 				ScalarVal(model.IntValue(int64(h + 1))), NodeVal(n)})
 		}
@@ -292,7 +324,12 @@ func procDiff(ctx context.Context, e *Engine, args []model.Value) (*Result, erro
 		return nil, err
 	}
 	res := &Result{Columns: []string{"ts", "op", "entity", "id"}}
-	for _, u := range diff {
+	for i, u := range diff {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		entity, id := "node", int64(u.NodeID)
 		if !u.Kind.IsNodeOp() {
 			entity, id = "relationship", int64(u.RelID)
@@ -429,9 +466,14 @@ func procIncBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 	}
 	bfs := incremental.NewBFS(g, src)
 	res := &Result{Columns: []string{"ts", "reached"}}
-	emit := func(ts model.Timestamp) {
+	emit := func(ts model.Timestamp) error {
 		reached := 0
-		for _, l := range bfs.Levels() {
+		for i, l := range bfs.Levels() {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if l >= 0 {
 				reached++
 			}
@@ -440,8 +482,11 @@ func procIncBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 			ScalarVal(model.IntValue(int64(ts))),
 			ScalarVal(model.IntValue(int64(reached))),
 		})
+		return nil
 	}
-	emit(start)
+	if err := emit(start); err != nil {
+		return nil, err
+	}
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
 		if err := ctx.Err(); err != nil {
@@ -457,7 +502,9 @@ func procIncBFS(ctx context.Context, e *Engine, args []model.Value) (*Result, er
 			}
 		}
 		bfs.ApplyDiff(g, diff)
-		emit(ts)
+		if err := emit(ts); err != nil {
+			return nil, err
+		}
 		prev = ts
 	}
 	return res, nil
@@ -479,15 +526,26 @@ func procIncPageRank(ctx context.Context, e *Engine, args []model.Value) (*Resul
 	}
 	pr := incremental.NewPageRank(algo.PageRankOptions{})
 	res := &Result{Columns: []string{"ts", "iterations", "topNode", "topRank"}}
-	emit := func(ts model.Timestamp, ranks map[model.NodeID]float64) {
+	emit := func(ts model.Timestamp, ranks map[model.NodeID]float64) error {
 		var topID model.NodeID = -1
 		var topRank float64
 		ids := make([]model.NodeID, 0, len(ranks))
+		scanned := 0
 		for id := range ranks {
+			if scanned++; scanned%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		for i, id := range ids {
+			if i%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if ranks[id] > topRank {
 				topID, topRank = id, ranks[id]
 			}
@@ -498,8 +556,11 @@ func procIncPageRank(ctx context.Context, e *Engine, args []model.Value) (*Resul
 			ScalarVal(model.IntValue(int64(topID))),
 			ScalarVal(model.FloatValue(topRank)),
 		})
+		return nil
 	}
-	emit(start, pr.Run(g))
+	if err := emit(start, pr.Run(g)); err != nil {
+		return nil, err
+	}
 	prev := start
 	for _, ts := range snapshotTimes(start+step, end, step) {
 		if err := ctx.Err(); err != nil {
@@ -514,7 +575,9 @@ func procIncPageRank(ctx context.Context, e *Engine, args []model.Value) (*Resul
 				return nil, err
 			}
 		}
-		emit(ts, pr.Run(g))
+		if err := emit(ts, pr.Run(g)); err != nil {
+			return nil, err
+		}
 		prev = ts
 	}
 	return res, nil
@@ -533,11 +596,22 @@ func procEarliestArrival(ctx context.Context, e *Engine, args []model.Value) (*R
 	arr, _ := algo.EarliestArrival(tg, model.NodeID(args[0].Int()), model.Timestamp(args[1].Int()))
 	res := &Result{Columns: []string{"node", "arrival"}}
 	ids := make([]model.NodeID, 0, len(arr))
+	scanned := 0
 	for id := range arr {
+		if scanned++; scanned%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{
 			ScalarVal(model.IntValue(int64(id))),
 			ScalarVal(model.IntValue(int64(arr[id]))),
@@ -559,11 +633,22 @@ func procLatestDeparture(ctx context.Context, e *Engine, args []model.Value) (*R
 	dep, _ := algo.LatestDeparture(tg, model.NodeID(args[0].Int()), model.Timestamp(args[1].Int()))
 	res := &Result{Columns: []string{"node", "departure"}}
 	ids := make([]model.NodeID, 0, len(dep))
+	scanned := 0
 	for id := range dep {
+		if scanned++; scanned%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, []Val{
 			ScalarVal(model.IntValue(int64(id))),
 			ScalarVal(model.IntValue(int64(dep[id]))),

@@ -14,7 +14,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 
@@ -92,7 +91,7 @@ func Open(opts Options) (*DB, error) {
 		if opts.FS != nil {
 			opts.Dir = "host"
 		} else {
-			dir, err := os.MkdirTemp("", "aion-hostdb-*")
+			dir, err := vfs.MkdirTemp("", "aion-hostdb-*")
 			if err != nil {
 				return nil, err
 			}
@@ -781,9 +780,11 @@ func (tx *Tx) Commit() (model.Timestamp, error) {
 		if db.opts.SyncCommits {
 			// The record holds positional refs into the string table, so
 			// the table must be durable before the log record is.
+			//aionlint:ignore lockio the commit point: strings-then-log sync order must be atomic with respect to the next commit, and commitMu is never taken by readers
 			if err := db.strings.Sync(); err != nil {
 				return 0, err
 			}
+			//aionlint:ignore lockio the commit point: the txn record must be durable before the commit timestamp is published; commitMu is writer-only
 			if err := db.txnLog.Sync(); err != nil {
 				return 0, err
 			}

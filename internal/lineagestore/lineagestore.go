@@ -12,6 +12,7 @@
 package lineagestore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -85,7 +86,7 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 		if opts.FS != nil {
 			opts.Dir = "lineage"
 		} else {
-			dir, err := os.MkdirTemp("", "aion-lineage-*")
+			dir, err := vfs.MkdirTemp("", "aion-lineage-*")
 			if err != nil {
 				return nil, err
 			}
@@ -112,8 +113,7 @@ func (s *Store) openTrees() error {
 		// A file cut mid-page is a crash artifact: the B+Tree cannot be
 		// trusted even if the early pages parse.
 		if sz, err := s.fs.Stat(path); err == nil && sz%pagecache.PageSize != 0 {
-			s.closeTrees()
-			return fmt.Errorf("lineagestore: open %s: truncated mid-page (%d bytes)", name, sz)
+			return errors.Join(fmt.Errorf("lineagestore: open %s: truncated mid-page (%d bytes)", name, sz), s.closeTrees())
 		}
 		pc, err := pagecache.OpenFS(s.fs, path, s.opts.IndexCachePages)
 		if err == nil {
@@ -122,22 +122,26 @@ func (s *Store) openTrees() error {
 				s.pcs[i], *trees[i] = pc, tree
 				continue
 			}
-			pc.Close()
+			err = errors.Join(err, pc.Close())
 		}
-		s.closeTrees()
-		return fmt.Errorf("lineagestore: open %s: %w", name, err)
+		return errors.Join(fmt.Errorf("lineagestore: open %s: %w", name, err), s.closeTrees())
 	}
 	return nil
 }
 
-func (s *Store) closeTrees() {
+// closeTrees tears down every open page cache, reporting the first flush
+// or close failure (the caller decides whether that is fatal: fatal on
+// the open path, surfaced on Wipe).
+func (s *Store) closeTrees() error {
+	var err error
 	for i := range s.pcs {
 		if s.pcs[i] != nil {
-			s.pcs[i].Close()
+			err = errors.Join(err, s.pcs[i].Close())
 			s.pcs[i] = nil
 		}
 	}
 	s.nodes, s.rels, s.out, s.in = nil, nil, nil, nil
+	return err
 }
 
 // Wipe discards the on-disk indexes and reopens the store empty. Used for
@@ -146,12 +150,15 @@ func (s *Store) closeTrees() {
 func (s *Store) Wipe() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.closeTrees()
+	// Close errors are ignored deliberately: the indexes are corrupt and
+	// about to be deleted, so a failed final flush carries no information.
+	_ = s.closeTrees()
 	for _, name := range indexFiles {
 		if err := s.fs.Remove(filepath.Join(s.opts.Dir, name)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
+	//aionlint:ignore lockio corruption-recovery path: the wipe must be exclusive with every reader and writer, and runs once per corrupt reopen, not on the serving path
 	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
 		return err
 	}

@@ -343,7 +343,12 @@ func (s *Store) liveRelsAt(ctx context.Context, id model.NodeID, d model.Directi
 	}
 	var out []model.RelID
 	seen := map[model.RelID]bool{}
-	for _, r := range order {
+	for i, r := range order {
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if live[r] && !seen[r] {
 			seen[r] = true
 			out = append(out, r)

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errDropPackages are the storage packages whose durability methods are
+// fail-stop by contract (DESIGN.md, Recovery contract): an error from any
+// of them means bytes may never reach disk, so dropping it silently voids
+// the crash-recovery story.
+var errDropPackages = []string{
+	"wal", "pagecache", "strstore", "timestore", "lineagestore", "hostdb",
+}
+
+// errDropMethods are the durability-bearing method names whose error
+// results must be consumed.
+var errDropMethods = map[string]bool{
+	"Sync":    true,
+	"SyncDir": true,
+	"Close":   true,
+	"Flush":   true,
+	"Append":  true,
+	"Commit":  true,
+}
+
+// ErrDrop flags discarded errors from Sync/SyncDir/Close/Flush/Append/
+// Commit calls in the storage packages: bare call statements, bare
+// deferred or go'd calls, and assignments of every result to blank.
+var ErrDrop = &Analyzer{
+	Code: "errdrop",
+	Doc:  "durability errors (Sync/Close/Flush/Append/Commit) in storage packages must not be discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Package) []Finding {
+	if !p.hasAnySegment(errDropPackages...) {
+		return nil
+	}
+	var out []Finding
+	report := func(call *ast.CallExpr, form string) {
+		name := exprString(call.Fun)
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(call.Pos()),
+			Code: "errdrop",
+			Message: fmt.Sprintf("%s from %s() is dropped; durability errors are fail-stop (capture it, e.g. errors.Join, or vfs.CloseChecked for defers)",
+				form, name),
+		})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && errDroppingCall(p, call) {
+					report(call, "error")
+				}
+			case *ast.DeferStmt:
+				if errDroppingCall(p, n.Call) {
+					report(n.Call, "deferred-call error")
+				}
+			case *ast.GoStmt:
+				if errDroppingCall(p, n.Call) {
+					report(n.Call, "goroutine-call error")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !errDroppingCall(p, call) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true // some result is captured
+					}
+				}
+				report(call, "blank-assigned error")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// errDroppingCall reports whether call is a method/function in the
+// watched name set that returns an error. Without type information the
+// name match alone decides (erring toward reporting).
+func errDroppingCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errDropMethods[sel.Sel.Name] {
+		return false
+	}
+	if tv, ok := p.Info.Types[call.Fun]; ok {
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			return false
+		}
+		return signatureReturnsError(sig)
+	}
+	return true
+}
+
+func signatureReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Package walcorpus is the errdrop corpus. Its synthetic import path ends
+// in "wal", so the analyzer treats it as a storage package: dropped
+// durability errors in every form are findings; captured errors and
+// error-less same-named methods are not.
+package walcorpus
+
+type log struct{}
+
+func (log) Sync() error                    { return nil }
+func (log) Close() error                   { return nil }
+func (log) Flush() error                   { return nil }
+func (log) Commit() error                  { return nil }
+func (log) Append(b []byte) (int64, error) { return 0, nil }
+
+// notifier.Close returns nothing: there is no durability error to drop.
+type notifier struct{}
+
+func (notifier) Close() {}
+
+func positives(l log) {
+	l.Sync()             // want errdrop
+	defer l.Close()      // want errdrop
+	go l.Flush()         // want errdrop
+	_ = l.Commit()       // want errdrop
+	_, _ = l.Append(nil) // want errdrop
+}
+
+func negatives(l log, n notifier) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	err := l.Close()
+	if err != nil {
+		return err
+	}
+	if _, err := l.Append(nil); err != nil {
+		return err
+	}
+	n.Close()
+	var cerr error
+	defer func() { cerr = l.Close() }()
+	_ = cerr
+	return l.Flush()
+}
+
+func suppressedTrailing(l log) {
+	// want+1 suppressed(errdrop)
+	l.Sync() //aionlint:ignore errdrop corpus fixture: trailing same-line suppression
+}

@@ -1,0 +1,22 @@
+// Package ignorecorpus exercises directive validation: a suppression with
+// no code, an unknown code, or no reason is itself a finding, so the
+// escape hatch cannot silently mute anything.
+package ignorecorpus
+
+// want+2 ignore
+//
+//aionlint:ignore
+var a = 1
+
+// want+2 ignore
+//
+//aionlint:ignore lockio
+var b = 2
+
+// want+2 ignore
+//
+//aionlint:ignore nosuchcode the code does not name an analyzer
+var c = 3
+
+//aionlint:ignore errdrop well-formed directive with nothing beneath it to suppress
+var d = a + b + c

@@ -1,0 +1,56 @@
+// Package tool is the vfsseam corpus: direct os file-mutation calls are
+// findings, read-only os calls and same-named methods on other types are
+// not, and a reasoned directive suppresses.
+package tool
+
+import (
+	"os"
+
+	osalias "os"
+)
+
+func positives(dir string) error {
+	if _, err := os.Create(dir + "/a"); err != nil { // want vfsseam
+		return err
+	}
+	if err := os.Rename(dir+"/a", dir+"/b"); err != nil { // want vfsseam
+		return err
+	}
+	if err := os.MkdirAll(dir+"/sub", 0o755); err != nil { // want vfsseam
+		return err
+	}
+	if err := osalias.Remove(dir + "/b"); err != nil { // want vfsseam
+		return err
+	}
+	//aionlint:ignore vfsseam corpus fixture: exercises a reasoned suppression
+	if err := os.RemoveAll(dir); err != nil { // want suppressed(vfsseam)
+		return err
+	}
+	return nil
+}
+
+func readOnlyNegatives(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}
+
+// maker has methods named like os mutators; they resolve to this type,
+// not package os, and must not be reported.
+type maker struct{}
+
+func (maker) Create(string) error { return nil }
+func (maker) Remove(string) error { return nil }
+
+func methodNegatives(m maker) error {
+	if err := m.Create("a"); err != nil {
+		return err
+	}
+	return m.Remove("a")
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// osMutators are the package-os calls that create, mutate, or destroy
+// filesystem state. Any of them outside internal/vfs is I/O the FaultFS
+// crash sweeps cannot observe: a store path using one has silently left
+// the recovery contract's coverage.
+var osMutators = map[string]bool{
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+	"WriteFile":  true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Truncate":   true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"Link":       true,
+	"Symlink":    true,
+}
+
+// VFSSeam flags direct os file-mutation calls outside internal/vfs.
+// Read-only calls (os.Open, os.ReadFile, os.Stat) are allowed: they
+// cannot void crash coverage, and operator tooling legitimately reads
+// config and corpus files from the real filesystem.
+var VFSSeam = &Analyzer{
+	Code: "vfsseam",
+	Doc:  "store I/O must flow through the internal/vfs seam; no direct os file-mutation calls outside it",
+	Run:  runVFSSeam,
+}
+
+func runVFSSeam(p *Package) []Finding {
+	if p.hasSegment("vfs") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		osNames := osImportNames(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !osMutators[sel.Sel.Name] {
+				return true
+			}
+			if !isOSFunc(p, sel, osNames) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Code: "vfsseam",
+				Message: fmt.Sprintf("direct os.%s bypasses the internal/vfs seam (FaultFS crash sweeps cannot observe this I/O); route it through a vfs.FS",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isOSFunc reports whether sel resolves to a function in package os,
+// preferring type information and falling back to matching the file's
+// import name for "os" when the type-checker could not resolve the call.
+func isOSFunc(p *Package, sel *ast.SelectorExpr, osNames map[string]bool) bool {
+	if obj, ok := p.Info.Uses[sel.Sel]; ok && obj != nil {
+		fn, ok := obj.(*types.Func)
+		return ok && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && osNames[id.Name]
+}
+
+// osImportNames returns the local names under which file imports "os".
+func osImportNames(file *ast.File) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"os"` {
+			continue
+		}
+		if imp.Name != nil {
+			names[imp.Name.Name] = true
+		} else {
+			names["os"] = true
+		}
+	}
+	return names
+}

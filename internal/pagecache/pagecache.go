@@ -7,6 +7,7 @@ package pagecache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -102,8 +103,7 @@ func OpenFS(fs vfs.FS, path string, capacityPages int) (*Cache, error) {
 	}
 	size, err := f.Size()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pagecache: stat: %w", err)
+		return nil, errors.Join(fmt.Errorf("pagecache: stat: %w", err), f.Close())
 	}
 	c := newCache(f, capacityPages)
 	c.isFile = true
@@ -285,8 +285,7 @@ func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.flushLocked(); err != nil {
-		c.backend.Close()
-		return err
+		return errors.Join(err, c.backend.Close())
 	}
 	return c.backend.Close()
 }

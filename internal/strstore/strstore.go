@@ -7,6 +7,7 @@ package strstore
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -62,8 +63,7 @@ func OpenFS(fs vfs.FS, path string) (*Store, error) {
 	}
 	size, err := f.Size()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("strstore: stat: %w", err)
+		return nil, errors.Join(fmt.Errorf("strstore: stat: %w", err), f.Close())
 	}
 	s := &Store{f: f}
 	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
@@ -72,8 +72,7 @@ func OpenFS(fs vfs.FS, path string) (*Store, error) {
 	var off int64
 	for off+4 <= size {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("strstore: reload: %w", err)
+			return nil, errors.Join(fmt.Errorf("strstore: reload: %w", err), f.Close())
 		}
 		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
 		if off+4+n > size {
@@ -81,8 +80,7 @@ func OpenFS(fs vfs.FS, path string) (*Store, error) {
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(r, b); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("strstore: reload body: %w", err)
+			return nil, errors.Join(fmt.Errorf("strstore: reload body: %w", err), f.Close())
 		}
 		str := string(b)
 		s.ids.Store(str, Ref(len(byID)))
@@ -91,12 +89,10 @@ func OpenFS(fs vfs.FS, path string) (*Store, error) {
 	}
 	if off < size {
 		if err := f.Truncate(off); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("strstore: tail repair truncate: %w", err)
+			return nil, errors.Join(fmt.Errorf("strstore: tail repair truncate: %w", err), f.Close())
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("strstore: tail repair sync: %w", err)
+			return nil, errors.Join(fmt.Errorf("strstore: tail repair sync: %w", err), f.Close())
 		}
 		s.repaired = size - off
 	}
@@ -224,6 +220,7 @@ func (st *Store) Sync() error {
 	if err := st.flushLocked(); err != nil {
 		return err
 	}
+	//aionlint:ignore lockio appends must not interleave with the fsync that orders the sticky fail-stop error; lookups are lock-free via the atomic table so only writers wait
 	if err := st.f.Sync(); err != nil {
 		st.failed = err
 		return fmt.Errorf("strstore: sync: %w", err)
@@ -241,6 +238,7 @@ func (st *Store) Close() error {
 	}
 	ferr := st.flushLocked()
 	if ferr == nil && st.dirty {
+		//aionlint:ignore lockio final fsync of a store being torn down; interning is over once Close holds the write lock
 		if err := st.f.Sync(); err != nil {
 			ferr = fmt.Errorf("strstore: sync: %w", err)
 		}

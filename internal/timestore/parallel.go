@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -124,22 +125,18 @@ func (s *Store) writeSnapshotFileParallel(path string, g *memgraph.Graph) (int64
 			return werr
 		})
 	if err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	// Snapshot records hold string refs: the table must be durable before
 	// the snapshot bytes are.
 	if err := s.codec.Strings.Sync(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	return written, f.Close()
 }
@@ -155,18 +152,18 @@ func (s *Store) loadSnapshotFile(ctx context.Context, path string, ts model.Time
 	return s.loadSnapshotFileSeq(ctx, path, ts)
 }
 
-func (s *Store) loadSnapshotFileParallel(ctx context.Context, path string, ts model.Timestamp) (*memgraph.Graph, error) {
+func (s *Store) loadSnapshotFileParallel(ctx context.Context, path string, ts model.Timestamp) (g *memgraph.Graph, err error) {
 	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer vfs.CloseChecked(f, &err)
 	sr, err := vfs.NewReader(f)
 	if err != nil {
 		return nil, err
 	}
 	r := bufio.NewReaderSize(sr, 1<<16)
-	g := memgraph.New()
+	g = memgraph.New()
 	err = pool.RunOrderedCtx(ctx, s.opts.ParallelIO,
 		func(emit func(frameBatch) bool) error {
 			var hdr [8]byte

@@ -141,25 +141,40 @@ func (s *Store) GetGraphsContext(ctx context.Context, start, end model.Timestamp
 	}
 	var out []*memgraph.Graph
 	next := start
-	emitThrough := func(upTo model.Timestamp) {
+	// Each emitted snapshot is a full graph clone, so the emit loop itself
+	// is a cancellation point, not just the diff scan driving it.
+	emitThrough := func(upTo model.Timestamp) error {
 		for next <= upTo && next <= end {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			g.SetTimestamp(next)
 			out = append(out, g.Clone())
 			next += step
 		}
+		return nil
 	}
+	var derr error
 	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
-		emitThrough(u.TS - 1) // snapshots strictly before this update's time
+		// Emit snapshots strictly before this update's time.
+		if derr = emitThrough(u.TS - 1); derr != nil {
+			return false
+		}
 		if aerr := g.Apply(u); aerr != nil {
-			err = fmt.Errorf("timestore: replay: %w", aerr)
+			derr = fmt.Errorf("timestore: replay: %w", aerr)
 			return false
 		}
 		return true
 	})
+	if derr != nil {
+		return nil, derr
+	}
 	if err != nil {
 		return nil, err
 	}
-	emitThrough(end)
+	if err := emitThrough(end); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -185,32 +200,38 @@ func (s *Store) ScanGraphsContext(ctx context.Context, start, end, step model.Ti
 	}
 	next := start
 	stopped := false
-	emitThrough := func(upTo model.Timestamp) bool {
+	emitThrough := func(upTo model.Timestamp) error {
 		for next <= upTo && next <= end {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			g.SetTimestamp(next)
 			if !fn(g) {
-				return false
+				stopped = true
+				return nil
 			}
 			next += step
 		}
-		return true
+		return nil
 	}
+	var derr error
 	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
-		if !emitThrough(u.TS - 1) {
-			stopped = true
+		if derr = emitThrough(u.TS - 1); derr != nil || stopped {
 			return false
 		}
 		if aerr := g.Apply(u); aerr != nil {
-			err = fmt.Errorf("timestore: replay: %w", aerr)
+			derr = fmt.Errorf("timestore: replay: %w", aerr)
 			return false
 		}
 		return true
 	})
+	if derr != nil {
+		return derr
+	}
 	if err != nil || stopped {
 		return err
 	}
-	emitThrough(end)
-	return nil
+	return emitThrough(end)
 }
 
 // GetTemporalGraph builds the temporal LPG over [start, end): the state at

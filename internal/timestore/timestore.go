@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -139,7 +140,7 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 		if opts.FS != nil {
 			opts.Dir = "timestore"
 		} else {
-			dir, err := os.MkdirTemp("", "aion-timestore-*")
+			dir, err := vfs.MkdirTemp("", "aion-timestore-*")
 			if err != nil {
 				return nil, err
 			}
@@ -561,50 +562,44 @@ func (s *Store) writeSnapshotFileSeq(path string, g *memgraph.Graph) (int64, err
 		buf = buf[:0]
 		buf, err = s.codec.AppendUpdate(buf, u)
 		if err != nil {
-			f.Close()
-			return written, err
+			return written, errors.Join(err, f.Close())
 		}
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(buf)))
 		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf))
 		if _, err := w.Write(hdr[:]); err != nil {
-			f.Close()
-			return written, err
+			return written, errors.Join(err, f.Close())
 		}
 		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			return written, err
+			return written, errors.Join(err, f.Close())
 		}
 		written += int64(len(hdr) + len(buf))
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	// Snapshot records hold string refs: the table must be durable before
 	// the snapshot bytes are.
 	if err := s.codec.Strings.Sync(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return written, err
+		return written, errors.Join(err, f.Close())
 	}
 	return written, f.Close()
 }
 
-func (s *Store) loadSnapshotFileSeq(ctx context.Context, path string, ts model.Timestamp) (*memgraph.Graph, error) {
+func (s *Store) loadSnapshotFileSeq(ctx context.Context, path string, ts model.Timestamp) (g *memgraph.Graph, err error) {
 	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer vfs.CloseChecked(f, &err)
 	sr, err := vfs.NewReader(f)
 	if err != nil {
 		return nil, err
 	}
 	r := bufio.NewReaderSize(sr, 1<<16)
-	g := memgraph.New()
+	g = memgraph.New()
 	var hdr [8]byte
 	for records := 0; ; records++ {
 		// Snapshot files can hold millions of records; a stride check keeps

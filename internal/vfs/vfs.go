@@ -12,6 +12,7 @@
 package vfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -142,6 +143,40 @@ func (osFS) SyncDir(dir string) error {
 		err = cerr
 	}
 	return err
+}
+
+// MkdirAll ensures path exists on filesystems that have a real namespace.
+// The OS passthrough delegates to os.MkdirAll; in-memory filesystems
+// (FaultFS) treat paths as opaque keys grouped by filepath.Dir and need
+// no directories. Stores call this for every subdirectory they open files
+// under, so the one call shape works on both sides of the seam.
+func MkdirAll(fs FS, path string) error {
+	if _, ok := fs.(osFS); ok {
+		return os.MkdirAll(path, 0o755)
+	}
+	return nil
+}
+
+// MkdirTemp creates a fresh scratch directory on the real filesystem (an
+// os.MkdirTemp passthrough, with its dir/pattern contract). It is the
+// sanctioned entry point for the stores' default-directory idiom — "no
+// Dir and no FS given: run on a throwaway OS directory" — so that path
+// stays visibly inside the vfs seam instead of each store calling os
+// directly.
+func MkdirTemp(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern)
+}
+
+// CloseChecked closes f and joins any close error into *err, preserving
+// an earlier error as the primary. It is the deferred form of the
+// fail-stop rule: a dropped Close is a dropped write error, because the
+// OS may surface a failed async writeback only at close time.
+//
+//	defer vfs.CloseChecked(f, &err)
+func CloseChecked(f File, err *error) {
+	if cerr := f.Close(); cerr != nil {
+		*err = errors.Join(*err, cerr)
+	}
 }
 
 // SeqWriter adapts a File to io.Writer for sequential appenders (bufio

@@ -166,6 +166,224 @@ func TestFaultFSTornSync(t *testing.T) {
 	}
 }
 
+// TestFaultFSDoubleClose: FaultFS handles tolerate double Close (always
+// nil, even across a crash); the os passthrough surfaces the second Close
+// as an error, the way *os.File does.
+func TestFaultFSDoubleClose(t *testing.T) {
+	fs := NewFaultFS()
+	f, err := fs.OpenFile("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close must stay nil on FaultFS, got %v", err)
+	}
+	fs.Crash()
+	if err := f.Close(); err != nil {
+		t.Fatalf("close of a stale handle is a no-op, got %v", err)
+	}
+
+	g, err := OS.OpenFile(filepath.Join(t.TempDir(), "a.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := g.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("second os close = %v, want ErrClosed", err)
+	}
+}
+
+// TestFaultFSSyncAfterCrash: a pre-crash handle fails every I/O method
+// with the stale-handle error, and a stale Sync charges no op against the
+// fault budget — it dies on the epoch check before reaching the gate.
+func TestFaultFSSyncAfterCrash(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("d/x")
+	f.WriteAt([]byte("abc"), 0)
+	f.Sync()
+	fs.SyncDir("d")
+	fs.Crash()
+	before := fs.Ops()
+	if err := f.Sync(); err == nil || errors.Is(err, ErrInjected) {
+		t.Fatalf("stale sync = %v, want stale-handle error", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Error("stale read must fail")
+	}
+	if _, err := f.Size(); err == nil {
+		t.Error("stale size must fail")
+	}
+	if err := f.Truncate(0); err == nil {
+		t.Error("stale truncate must fail")
+	}
+	if got := fs.Ops(); got != before {
+		t.Fatalf("stale calls charged %d op(s); the fault budget must only count live I/O", got-before)
+	}
+	// A fresh handle to the surviving state works.
+	g, err := fs.Open("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatalf("fresh handle sync: %v", err)
+	}
+}
+
+// TestFaultFSRenameOverExisting: rename replaces the destination in the
+// current namespace immediately, but the replacement is durable only
+// after SyncDir — a crash before it restores the old destination.
+func TestFaultFSRenameOverExisting(t *testing.T) {
+	fs := NewFaultFS()
+	write := func(path, content string) {
+		f, err := fs.OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte(content), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(path string) string {
+		g, err := fs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := g.Size()
+		buf := make([]byte, n)
+		if n > 0 {
+			if _, err := g.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return string(buf)
+	}
+	write("d/dst", "old")
+	write("d/src", "new!")
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replacement is visible immediately and the source name is gone.
+	if err := fs.Rename("d/src", "d/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if got := read("d/dst"); got != "new!" {
+		t.Fatalf("dst after rename = %q, want %q", got, "new!")
+	}
+	if _, err := fs.Open("d/src"); !os.IsNotExist(err) {
+		t.Fatalf("src must be gone after rename, got %v", err)
+	}
+
+	// Not yet dir-synced: a crash restores the replaced destination.
+	fs.Crash()
+	if got := read("d/dst"); got != "old" {
+		t.Fatalf("dst after crash without SyncDir = %q, want %q", got, "old")
+	}
+	if got := read("d/src"); got != "new!" {
+		t.Fatalf("src after crash without SyncDir = %q, want %q", got, "new!")
+	}
+
+	// Dir-synced: the replacement survives the crash and src stays gone.
+	if err := fs.Rename("d/src", "d/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got := read("d/dst"); got != "new!" {
+		t.Fatalf("dst after dir-synced rename + crash = %q, want %q", got, "new!")
+	}
+	if _, err := fs.Open("d/src"); !os.IsNotExist(err) {
+		t.Fatalf("src must stay gone after dir-synced rename, got %v", err)
+	}
+}
+
+// TestMkdirAll: real directories appear under the os FS; on in-memory
+// filesystems (implicit directories) it is a free no-op that must not
+// charge the fault budget.
+func TestMkdirAll(t *testing.T) {
+	base := t.TempDir()
+	nested := filepath.Join(base, "a", "b", "c")
+	if err := MkdirAll(OS, nested); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(nested)
+	if err != nil || !st.IsDir() {
+		t.Fatalf("nested dir: %v %v", st, err)
+	}
+	if err := MkdirAll(OS, nested); err != nil {
+		t.Fatalf("MkdirAll must be idempotent: %v", err)
+	}
+
+	ffs := NewFaultFS()
+	ffs.SetFailAfter(1) // any charged op would fail
+	if err := MkdirAll(ffs, "x/y/z"); err != nil {
+		t.Fatalf("in-memory MkdirAll: %v", err)
+	}
+	if n := ffs.Ops(); n != 0 {
+		t.Fatalf("in-memory MkdirAll charged %d op(s); crash sweeps must be unaffected", n)
+	}
+}
+
+// TestMkdirTemp: fresh, writable, distinct directories.
+func TestMkdirTemp(t *testing.T) {
+	base := t.TempDir()
+	d1, err := MkdirTemp(base, "aion-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := MkdirTemp(base, "aion-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatalf("MkdirTemp returned the same dir twice: %s", d1)
+	}
+	if err := os.WriteFile(filepath.Join(d1, "probe"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("temp dir not writable: %v", err)
+	}
+}
+
+// TestCloseChecked: a clean close leaves *err alone; a failing close
+// lands in *err; a failing close joined onto an earlier error preserves
+// both.
+func TestCloseChecked(t *testing.T) {
+	var err error
+	f, _ := NewFaultFS().OpenFile("d/x")
+	CloseChecked(f, &err)
+	if err != nil {
+		t.Fatalf("clean close set err: %v", err)
+	}
+
+	g, oerr := OS.OpenFile(filepath.Join(t.TempDir(), "a.dat"))
+	if oerr != nil {
+		t.Fatal(oerr)
+	}
+	if cerr := g.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	CloseChecked(g, &err) // double close fails on the os passthrough
+	if !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("failing close not captured: %v", err)
+	}
+
+	sentinel := errors.New("primary failure")
+	err = sentinel
+	CloseChecked(g, &err)
+	if !errors.Is(err, sentinel) || !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("joined error lost a member: %v", err)
+	}
+}
+
 // TestFaultFSOpsDeterministic: the same workload produces the same op
 // count, the property the sweep harness relies on.
 func TestFaultFSOpsDeterministic(t *testing.T) {
