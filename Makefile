@@ -30,14 +30,19 @@ cover:
 
 # One iteration of the read-path benchmarks: enough to catch regressions in
 # the pipeline wiring without a full benchmark run.
+# Read-path micro-benchmarks, the commit-throughput suite (group-commit
+# pipeline vs the NoGroupCommit ablation), and a machine-readable
+# BENCH_smoke.json snapshot at the repo root.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SnapshotLoad|GetGraph$$' -benchtime 1x ./internal/timestore/
+	$(GO) test -run '^$$' -bench 'CommitThroughput' -benchtime 100x ./internal/hostdb/
+	$(GO) run ./cmd/aion-bench -exp write -writeops 50 -committers 1,16 -json BENCH_smoke.json
 
 # Concurrent serving-path stress under the race detector: mixed
 # reader/writer bolt clients against an undersized admission limit, plus the
 # engine-level writer/reader mix and the cancellation suite.
 stress:
-	$(GO) test -race -count=2 -run 'Stress|Concurrent|Cancel|Deadline|Overload|Drain|Panic' ./internal/bolt/ ./internal/cypher/
+	$(GO) test -race -count=2 -run 'Stress|Concurrent|Cancel|Deadline|Overload|Drain|Panic' ./internal/bolt/ ./internal/cypher/ ./internal/hostdb/ ./internal/system/
 
 # A short run of the record-decoder fuzzer (recovery feeds it torn log
 # tails): long enough to exercise the mutator, short enough for CI.

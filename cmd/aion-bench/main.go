@@ -8,13 +8,19 @@
 //	aion-bench -exp table3,fig6,fig11
 //
 // Experiments: table3, table4, fig6, fig7, fig8, fig9, fig10, fig11,
-// fig12, fig13, fig14, ext (incremental SSSP/colouring extension).
+// fig12, fig13, fig14, ext (incremental SSSP/colouring extension), write
+// (commit-throughput sweep with the group-commit ablation).
+//
+// -json <path> additionally writes every recorded measurement as a
+// machine-readable BENCH_*.json report (name, ops/sec, p50/p99 latency,
+// fsync counters).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"aion/internal/bench"
@@ -30,15 +36,21 @@ func main() {
 		pointOps = flag.Int("pointops", 20000, "point queries per system (paper: 1M)")
 		globals  = flag.Int("globalops", 20, "snapshot retrievals per system (paper: 100)")
 		workdir  = flag.String("dir", "", "working directory for store files (default: temp)")
+		jsonPath = flag.String("json", "", "write machine-readable results to this JSON file")
+		writeOps = flag.Int("writeops", 200, "commits per committer in the write-path suite")
+		writeCs  = flag.String("committers", "", "comma-separated committer counts for the write suite (default 1,4,16,64)")
+		syncOnly = flag.Bool("synconly", false, "write suite: measure only synchronous (durable) commits")
 	)
 	flag.Parse()
 
+	report := &bench.Report{}
 	cfg := bench.Config{
 		Scale:     *scale,
 		Seed:      *seed,
 		PointOps:  *pointOps,
 		GlobalOps: *globals,
 		Out:       os.Stdout,
+		Report:    report,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
@@ -91,9 +103,32 @@ func main() {
 	run("fig13", func() error { _, err := bench.RunFig13(cfg, mkdir, 8, 100); return err })
 	run("fig14", func() error { _, err := bench.RunFig14(cfg, mkdir, []int{10}); return err })
 	run("ext", func() error { _, err := bench.RunExtensionIncremental(cfg, []int{10, 100}); return err })
+	run("write", func() error {
+		wc := bench.WriteConfig{OpsPerCommitter: *writeOps}
+		if *writeCs != "" {
+			for _, s := range strings.Split(*writeCs, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					return fmt.Errorf("bad -committers entry %q", s)
+				}
+				wc.Committers = append(wc.Committers, n)
+			}
+		}
+		if *syncOnly {
+			wc.SyncModes = []bool{true}
+		}
+		_, err := bench.RunWritePath(cfg, mkdir, wc)
+		return err
+	})
 
 	if ran == 0 {
 		fail(fmt.Errorf("unknown experiment(s) %q", *exp))
+	}
+	if *jsonPath != "" {
+		if err := report.WriteFile(nil, *jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %d result(s) to %s\n", len(report.Records()), *jsonPath)
 	}
 }
 

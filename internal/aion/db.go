@@ -72,6 +72,9 @@ type Options struct {
 	ChainThreshold int
 	// SnapshotEveryOps is TimeStore's operation-based snapshot policy.
 	SnapshotEveryOps int
+	// SnapshotEveryBytes is TimeStore's log-bytes snapshot policy (the
+	// default when no policy is set; see timestore.Options).
+	SnapshotEveryBytes int64
 	// GraphStoreBytes is the snapshot cache budget.
 	GraphStoreBytes int64
 	// AsyncQueueDepth bounds the background cascade queue (batches).
@@ -136,11 +139,12 @@ func Open(opts Options) (*DB, error) {
 
 	if opts.Mode != SyncLineageOnly {
 		db.ts, err = timestore.Open(codec, timestore.Options{
-			Dir:              filepath.Join(opts.Dir, "timestore"),
-			SnapshotEveryOps: opts.SnapshotEveryOps,
-			GraphStoreBytes:  opts.GraphStoreBytes,
-			ParallelIO:       opts.ParallelIO,
-			FS:               opts.FS,
+			Dir:                filepath.Join(opts.Dir, "timestore"),
+			SnapshotEveryOps:   opts.SnapshotEveryOps,
+			SnapshotEveryBytes: opts.SnapshotEveryBytes,
+			GraphStoreBytes:    opts.GraphStoreBytes,
+			ParallelIO:         opts.ParallelIO,
+			FS:                 opts.FS,
 		})
 		if err != nil {
 			return nil, err

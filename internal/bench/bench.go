@@ -35,6 +35,9 @@ type Config struct {
 	GlobalOps int
 	// Out receives the printed tables.
 	Out io.Writer
+	// Report, when non-nil, accumulates machine-readable Records for the
+	// -json output alongside the printed tables.
+	Report *Report
 }
 
 // Defaults fills unset fields.

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aion/internal/vfs"
+)
+
+// Record is one machine-readable benchmark measurement. The write-path
+// suite fills every field; read-path experiments that record fill the
+// subset that applies (fsync counters are write-path only).
+type Record struct {
+	// Name identifies the measurement, e.g. "commit/c=16/sync/pipeline".
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// Fsyncs is the total fsync count the run issued (host Stats
+	// counters); FsyncsPerCommit is Fsyncs/Ops. Group commit's whole
+	// point is driving the latter below 1 under concurrency.
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+	Committers      int     `json:"committers,omitempty"`
+	SyncCommits     bool    `json:"sync_commits,omitempty"`
+	GroupCommit     bool    `json:"group_commit,omitempty"`
+}
+
+// Report accumulates Records across experiments for the -json output.
+// Safe for concurrent Add.
+type Report struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one measurement.
+func (r *Report) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = append(r.records, rec)
+}
+
+// Records returns a copy of everything recorded so far.
+func (r *Report) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// reportFile is the on-disk shape of a BENCH_*.json file.
+type reportFile struct {
+	GeneratedAt string   `json:"generated_at"`
+	Results     []Record `json:"results"`
+}
+
+// WriteFile writes the report as indented JSON through the vfs seam.
+func (r *Report) WriteFile(fs vfs.FS, path string) (err error) {
+	fs = vfs.OrOS(fs)
+	body := reportFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:     r.Records(),
+	}
+	data, err := json.MarshalIndent(body, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	f, err := fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: create report: %w", err)
+	}
+	defer vfs.CloseChecked(f, &err)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}
+
+// record adds rec to the config's report, if one is attached.
+func (c *Config) record(rec Record) { c.Report.Add(rec) }
+
+// percentileMicros returns the p-th percentile (0 < p <= 1) of the given
+// latencies in microseconds. Sorts its argument in place.
+func percentileMicros(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p*float64(len(lats))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return float64(lats[idx].Nanoseconds()) / 1e3
+}

@@ -53,17 +53,23 @@ type Result struct {
 //
 // Concurrency contract: any number of read statements may execute
 // concurrently with each other (reads take no engine lock — the host graph
-// and the temporal stores synchronize internally), while write statements
-// (CREATE, or MATCH with SET/DELETE/CREATE clauses) are serialized through
-// a single-writer mutex. Writes therefore never interleave half-applied
-// state, and reads never block behind other reads.
+// and the temporal stores synchronize internally). Write statements divide
+// in two classes. Blind CREATE statements only ever add entities under
+// fresh ids, so they cannot conflict with one another: they stage and
+// commit concurrently, sharing a group-commit round (one fsync for all of
+// them) in the host's pipeline. Read-modify-write statements (MATCH with
+// SET/DELETE/CREATE clauses) are still mutually exclusive — with each other
+// AND with in-flight CREATEs — so their matched bindings cannot be
+// invalidated by a concurrent writer between match and commit. Reads never
+// block behind anything.
 type Engine struct {
 	Sys   *system.System
 	procs map[string]Proc
 
-	// writeMu serializes write statements (single-writer). Reads do not
-	// take it.
-	writeMu sync.Mutex
+	// writeMu is the write-statement lock: blind CREATEs take the read
+	// side (concurrent with each other), MATCH-writes the write side
+	// (exclusive). Reads take neither.
+	writeMu sync.RWMutex
 }
 
 // NewEngine creates an engine with the built-in temporal procedures
@@ -100,8 +106,8 @@ func (e *Engine) Exec(st *Statement, params map[string]model.Value) (*Result, er
 	return e.ExecContext(context.Background(), st, params)
 }
 
-// isWrite reports whether st mutates the graph (and must therefore hold the
-// single-writer lock).
+// isWrite reports whether st mutates the graph (and must therefore hold a
+// side of the write lock).
 func isWrite(st *Statement) bool {
 	if st.Create != nil {
 		return true
@@ -112,15 +118,29 @@ func isWrite(st *Statement) bool {
 	return false
 }
 
-// ExecContext executes a parsed statement under ctx. Write statements are
-// serialized on the engine's single-writer mutex; reads run lock-free.
+// isBlindCreate reports whether st only creates new entities (a bare CREATE
+// with no MATCH part): such statements allocate fresh ids and reference no
+// pre-existing state, so they can run concurrently and coalesce in the
+// host's group-commit pipeline.
+func isBlindCreate(st *Statement) bool {
+	return st.Create != nil && st.Match == nil
+}
+
+// ExecContext executes a parsed statement under ctx. Blind CREATEs share
+// the write lock (staging concurrently, conflict-free by construction);
+// MATCH-writes hold it exclusively; reads run lock-free.
 func (e *Engine) ExecContext(c context.Context, st *Statement, params map[string]model.Value) (*Result, error) {
 	if c == nil {
 		c = context.Background()
 	}
 	if isWrite(st) {
-		e.writeMu.Lock()
-		defer e.writeMu.Unlock()
+		if isBlindCreate(st) {
+			e.writeMu.RLock()
+			defer e.writeMu.RUnlock()
+		} else {
+			e.writeMu.Lock()
+			defer e.writeMu.Unlock()
+		}
 		// A write that spent its deadline queueing behind other writers
 		// should not start applying updates.
 		if err := c.Err(); err != nil {

@@ -23,3 +23,32 @@ func (c *Codec) DecodeUpdates(dst []model.Update, payloads [][]byte) ([]model.Up
 	}
 	return dst, nil
 }
+
+// EncodeUpdates is the batch encoder symmetric with DecodeUpdates: it
+// encodes every update into one shared backing buffer (grown from buf, so
+// append paths can recycle their scratch) and returns per-update payload
+// slices aliasing it. The write-path callers — the host's group-commit
+// leader and the TimeStore's AppendBatch — hand the payloads straight to
+// wal.AppendBatch, so a whole transaction batch is encoded and logged with
+// zero per-update allocations. The payload slices are valid until the
+// backing buffer is reused; on error nothing is returned.
+//
+// Because appending can reallocate the backing array, payload slices are
+// carved out only after every update is encoded.
+func (c *Codec) EncodeUpdates(buf []byte, us []model.Update) (payloads [][]byte, backing []byte, err error) {
+	buf = buf[:0]
+	ends := make([]int, len(us))
+	for i, u := range us {
+		if buf, err = c.AppendUpdate(buf, u); err != nil {
+			return nil, buf, err
+		}
+		ends[i] = len(buf)
+	}
+	payloads = make([][]byte, len(us))
+	start := 0
+	for i, end := range ends {
+		payloads[i] = buf[start:end:end]
+		start = end
+	}
+	return payloads, buf, nil
+}

@@ -79,3 +79,63 @@ func TestDecodeUpdatesConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestEncodeUpdatesRoundTrip checks the batch encoder against both the
+// per-update encoder (byte identity) and the batch decoder (symmetry).
+func TestEncodeUpdatesRoundTrip(t *testing.T) {
+	c := newCodec()
+	us := []model.Update{
+		model.AddNode(1, 1, []string{"A"}, model.Properties{"x": model.IntValue(9)}),
+		model.AddRel(2, 1, 1, 1, "KNOWS", model.Properties{"w": model.StringValue("v")}),
+		model.UpdateNode(3, 1, []string{"B"}, nil, model.Properties{"x": model.IntValue(10)}, nil),
+		model.DeleteRel(4, 1, 1, 1),
+		model.DeleteNode(5, 1),
+	}
+	payloads, backing, err := c.EncodeUpdates(nil, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != len(us) {
+		t.Fatalf("encoded %d payloads, want %d", len(payloads), len(us))
+	}
+	total := 0
+	for i, u := range us {
+		single, err := c.EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(payloads[i]) != string(single) {
+			t.Fatalf("payload %d differs from EncodeUpdate", i)
+		}
+		total += len(single)
+	}
+	if len(backing) != total {
+		t.Fatalf("backing is %d bytes, want %d", len(backing), total)
+	}
+	got, err := c.DecodeUpdates(nil, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range got {
+		if u.Kind != us[i].Kind || u.TS != us[i].TS {
+			t.Fatalf("update %d decoded as %+v, want %+v", i, u, us[i])
+		}
+	}
+	// Reusing the backing buffer must not allocate per update.
+	payloads2, _, err := c.EncodeUpdates(backing, us)
+	if err != nil || len(payloads2) != len(us) {
+		t.Fatalf("reuse: %d payloads, err %v", len(payloads2), err)
+	}
+}
+
+func TestEncodeUpdatesEmptyAndError(t *testing.T) {
+	c := newCodec()
+	payloads, _, err := c.EncodeUpdates(nil, nil)
+	if err != nil || len(payloads) != 0 {
+		t.Fatalf("empty batch: %v %v", payloads, err)
+	}
+	bad := []model.Update{model.AddNode(1, 1, nil, nil), {Kind: model.OpKind(99)}}
+	if _, _, err := c.EncodeUpdates(nil, bad); err == nil {
+		t.Fatal("unknown op kind must fail the whole batch")
+	}
+}

@@ -342,3 +342,67 @@ func TestScanDiffEarlyStop(t *testing.T) {
 		t.Errorf("early stop at %d", n)
 	}
 }
+
+// TestSnapshotPolicyLogBytes drives the log-bytes policy (the store's
+// default trigger): snapshots must land roughly every SnapshotEveryBytes of
+// appended log, and a reopened store must carry its replay debt forward
+// instead of resetting the budget.
+func TestSnapshotPolicyLogBytes(t *testing.T) {
+	dir := t.TempDir()
+	codec := enc.NewCodec(strstore.NewMem())
+	s, err := Open(codec, Options{Dir: dir, SnapshotEveryOps: -1, SnapshotEveryBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch(chainUpdates(20)); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitSnapshots()
+	st := s.Stats()
+	if st.Snapshots < 2 {
+		t.Errorf("log-bytes policy created %d snapshots, want >= 2", st.Snapshots)
+	}
+	if st.LogBytes < 64*int64(st.Snapshots) {
+		t.Errorf("snapshot density above policy: %d snapshots from %d log bytes", st.Snapshots, st.LogBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the replay debt past the newest snapshot seeds the policy
+	// counter, so one more append (crossing the 64-byte budget together
+	// with the recovered tail) must schedule a snapshot promptly.
+	r, err := Open(codec, Options{Dir: dir, SnapshotEveryOps: -1, SnapshotEveryBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	base := r.Stats().Snapshots
+	ts := r.LatestTimestamp()
+	for i := 0; i < 12; i++ {
+		ts++
+		if err := r.Append(model.AddNode(ts, model.NodeID(1000+i), []string{"N"}, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.WaitSnapshots()
+	if got := r.Stats().Snapshots; got <= base {
+		t.Errorf("no snapshot after reopen + appends (still %d)", got)
+	}
+}
+
+// TestDefaultPolicyIsLogBytes pins the defaulting rule: with no policy
+// configured, the store adopts the log-bytes trigger.
+func TestDefaultPolicyIsLogBytes(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.SnapshotEveryBytes != DefaultSnapshotEveryBytes || o.SnapshotEveryOps != 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	// An explicit ops policy suppresses the bytes default.
+	o = Options{SnapshotEveryOps: 100}
+	o.defaults()
+	if o.SnapshotEveryBytes != 0 {
+		t.Fatalf("ops policy must not add a bytes default: %+v", o)
+	}
+}

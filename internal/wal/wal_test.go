@@ -469,3 +469,121 @@ func TestOpenTemp(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendBatchRoundTrip(t *testing.T) {
+	l := openLog(t)
+	if _, err := l.Append([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, 40)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("batched-record-%d", i))
+	}
+	offs, err := l.AppendBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != len(payloads) {
+		t.Fatalf("got %d offsets, want %d", len(offs), len(payloads))
+	}
+	for i, off := range offs {
+		got, err := l.ReadAt(off)
+		if err != nil {
+			t.Fatalf("record %d at %d: %v", i, off, err)
+		}
+		if string(got) != string(payloads[i]) {
+			t.Errorf("record %d = %q, want %q", i, got, payloads[i])
+		}
+	}
+	// A batch append and N singleton appends are indistinguishable to Scan.
+	var seen []string
+	if _, err := l.Scan(0, func(off int64, p []byte) bool {
+		seen = append(seen, string(p))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(payloads)+1 || seen[0] != "pre" || seen[1] != "batched-record-0" {
+		t.Fatalf("scan saw %d records (first %q)", len(seen), seen[0])
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Syncs() != 1 {
+		t.Fatalf("Syncs() = %d, want 1", l.Syncs())
+	}
+}
+
+func TestAppendBatchEmptyAndInterleaved(t *testing.T) {
+	l := openLog(t)
+	if offs, err := l.AppendBatch(nil); err != nil || offs != nil {
+		t.Fatalf("empty batch: %v %v", offs, err)
+	}
+	// Interleave singleton and batch appends; offsets must stay contiguous.
+	off1, err := l.Append([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := l.AppendBatch([][]byte{[]byte("bb"), []byte("ccc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := l.Append([]byte("dddd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := off1 + recordHeaderSize + 1
+	if offs[0] != want {
+		t.Fatalf("batch record 0 at %d, want %d", offs[0], want)
+	}
+	if offs[1] != offs[0]+recordHeaderSize+2 {
+		t.Fatalf("batch record 1 at %d", offs[1])
+	}
+	if off2 != offs[1]+recordHeaderSize+3 {
+		t.Fatalf("post-batch append at %d", off2)
+	}
+}
+
+// TestAppendBatchTornTail checks the group-commit recovery contract at the
+// WAL layer: when only a prefix of a batch append reaches disk, reopening
+// keeps every fully framed record of the prefix and drops the torn suffix —
+// never a suffix record without its predecessors.
+func TestAppendBatchTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]byte{[]byte("tx-one"), []byte("tx-two"), []byte("tx-three")}
+	offs, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the batch mid-way through the second record.
+	cut := offs[1] + recordHeaderSize + 3
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.RepairedBytes() == 0 {
+		t.Fatal("expected torn-tail repair")
+	}
+	var seen []string
+	if _, err := l2.Scan(0, func(off int64, p []byte) bool {
+		seen = append(seen, string(p))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "tx-one" {
+		t.Fatalf("recovered %v, want only tx-one", seen)
+	}
+}
