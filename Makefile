@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress
+.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress replica-smoke
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,14 @@ bench-smoke:
 # reader/writer bolt clients against an undersized admission limit, plus the
 # engine-level writer/reader mix and the cancellation suite.
 stress:
-	$(GO) test -race -count=2 -run 'Stress|Concurrent|Cancel|Deadline|Overload|Drain|Panic' ./internal/bolt/ ./internal/cypher/ ./internal/hostdb/ ./internal/system/
+	$(GO) test -race -count=2 -run 'Stress|Concurrent|Cancel|Deadline|Overload|Drain|Panic|Replica' ./internal/bolt/ ./internal/cypher/ ./internal/hostdb/ ./internal/system/
+	$(GO) test -race -count=1 ./internal/replica/
+
+# Replication smoke over real TCP: a primary and two follower servers, one
+# follower's stream killed mid-flight (it must reconnect and re-converge),
+# plus router fallback and dial-failure backoff.
+replica-smoke:
+	$(GO) test -race -count=1 -run 'TestReplicationOverTCP|TestRouterFallback|TestFollowerReconnectBackoff' -v ./internal/replica/
 
 # A short run of the record-decoder fuzzer (recovery feeds it torn log
 # tails): long enough to exercise the mutator, short enough for CI.

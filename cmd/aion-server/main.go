@@ -5,10 +5,17 @@
 //
 //	aion-server -addr 127.0.0.1:7687 -dir /var/lib/aion
 //
-// Connect with cmd/aion-shell or the internal/bolt client.
+// Run a read replica by pointing it at a primary; it tails the primary's
+// WAL and serves historical reads at or below its replicated watermark:
+//
+//	aion-server -addr 127.0.0.1:7688 -dir /var/lib/aion-r1 -replica-of 127.0.0.1:7687
+//
+// Connect with cmd/aion-shell or the internal/bolt client (bolt.Router
+// routes reads across replicas with primary fallback).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,8 @@ import (
 
 	"aion/internal/bolt"
 	"aion/internal/cypher"
+	"aion/internal/model"
+	"aion/internal/replica"
 	"aion/internal/system"
 	"aion/internal/vfs"
 )
@@ -25,14 +34,19 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:7687", "listen address")
+		advertise     = flag.String("advertise", "", "address advertised to clients and logs (default: the bound address)")
 		dir           = flag.String("dir", "", "storage directory (default: temp)")
 		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline (0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 64, "concurrent query limit; excess queries are shed (0 = unbounded)")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight queries")
+		syncCommits   = flag.Bool("sync-commits", true, "fsync the transaction log on every commit (required for replication: only durable bytes are shipped)")
+		replicaOf     = flag.String("replica-of", "", "primary address to replicate from; makes this node a read-only follower")
+		staleness     = flag.Int64("staleness-bound", 1000, "max commits a replica may lag before latest reads are rejected (0 = no bound)")
+		disconnGrace  = flag.Duration("disconnect-grace", 5*time.Second, "max heartbeat silence before a replica rejects latest reads (0 disables)")
 	)
 	flag.Parse()
 
-	opts := system.Options{Dir: *dir}
+	opts := system.Options{Dir: *dir, SyncCommits: *syncCommits, Replica: *replicaOf != ""}
 	if *dir == "" {
 		d, err := vfs.MkdirTemp("", "aion-server-*")
 		if err != nil {
@@ -47,25 +61,69 @@ func main() {
 	}
 	defer sys.Close()
 
-	srv := bolt.NewServer(cypher.NewEngine(sys), bolt.Options{
+	srvOpts := bolt.Options{
 		QueryTimeout:  *queryTimeout,
 		MaxConcurrent: *maxConcurrent,
 		DrainTimeout:  *drainTimeout,
-	})
+	}
+
+	var follower *replica.Follower
+	followerDone := make(chan error, 1)
+	if *replicaOf != "" {
+		// Follower: reject writes and above-watermark reads at the gate,
+		// and tail the primary's WAL in the background.
+		applier := replica.NewApplier(sys)
+		applier.StalenessBound = model.Timestamp(*staleness)
+		applier.DisconnectGrace = *disconnGrace
+		srvOpts.ReadGate = applier.Gate
+		srvOpts.Replication = applier
+		follower = &replica.Follower{Applier: applier, Addr: *replicaOf}
+	} else {
+		// Primary: accept REPLICATE streams from followers.
+		src := replica.NewSource(sys.Host)
+		srvOpts.ReplicationHandler = src.ServeConn
+		srvOpts.Replication = src
+	}
+
+	srv := bolt.NewServer(cypher.NewEngine(sys), srvOpts)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println("aion-server listening on", bound)
+	public := *advertise
+	if public == "" {
+		public = bound
+	}
+	if *replicaOf != "" {
+		fmt.Printf("aion-server (replica of %s) listening on %s (advertised %s)\n", *replicaOf, bound, public)
+	} else {
+		fmt.Printf("aion-server (primary) listening on %s (advertised %s)\n", bound, public)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if follower != nil {
+		go func() { followerDone <- follower.Run(ctx) }()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+	case err := <-followerDone:
+		// The follower loop only exits on divergence fail-stop.
+		fmt.Fprintln(os.Stderr, "aion-server: replication fail-stop:", err)
+	}
+	cancel()
 	srv.Close()
 	m := srv.Metrics()
-	fmt.Printf("served %d queries (%d shed, %d timed out, %d panics contained)\n",
-		m.Queries, m.Shed, m.Timeouts, m.Panics)
+	fmt.Printf("served %d queries (%d shed, %d timed out, %d panics contained, %d gate-rejected)\n",
+		m.Queries, m.Shed, m.Timeouts, m.Panics, m.Rejected)
+	if r := m.Replication; r != nil {
+		fmt.Printf("replication: %d frames shipped (%d B), %d applied (%d B), %d heartbeats, %d reconnects, watermark %d (lag %d)\n",
+			r.FramesShipped, r.BytesShipped, r.FramesApplied, r.BytesApplied,
+			r.Heartbeats, r.Reconnects, r.Watermark, r.WatermarkLag)
+	}
 }
 
 func fail(err error) {

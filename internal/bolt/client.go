@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"syscall"
 	"time"
 
 	"aion/internal/cypher"
@@ -16,6 +18,7 @@ import (
 // Client is a Bolt session. It is not safe for concurrent use; open one
 // client per worker (as the paper pins one client thread per core).
 type Client struct {
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
@@ -47,8 +50,11 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
 }
 
-// backoff returns the sleep before retry number attempt (0-based).
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+// Backoff returns the sleep before retry number attempt (0-based): a
+// uniform random duration in [0, min(MaxDelay, BaseDelay·2^attempt)].
+// Exported so the replication follower can reuse the same full-jitter
+// schedule for its reconnect loop.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	d := p.BaseDelay << uint(attempt)
 	if d <= 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
 		d = p.MaxDelay
@@ -59,13 +65,35 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 	return time.Duration(rand.Int63n(int64(d) + 1))
 }
 
+// TransportRetryable reports whether err is a transport-level failure worth
+// retrying against a fresh connection: a refused or reset connection, a
+// broken pipe, an abrupt EOF mid-frame, or a network timeout. Typed server
+// FAILUREs are excluded — their own Retryable() governs them — as are
+// protocol and decode errors, which would just fail again.
+func TransportRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
 // Dial connects and performs the HELLO handshake.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+	c := &Client{addr: addr, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
 	hello := []byte{MsgHello}
 	hello = appendString(hello, "aion-go/1.0")
 	if err := c.send(hello); err != nil {
@@ -85,6 +113,9 @@ func Dial(addr string) (*Client, error) {
 }
 
 func (c *Client) send(payload []byte) error {
+	if c.conn == nil {
+		return net.ErrClosed
+	}
 	if err := writeFrame(c.w, payload); err != nil {
 		return err
 	}
@@ -187,9 +218,16 @@ func (c *Client) RunTimeout(query string, params map[string]model.Value, timeout
 }
 
 // RunRetry is RunTimeout plus automatic retries on failures the server
-// marked retryable (overload shed, shutdown). Terminal failures — syntax
-// errors, timeouts, panics — and transport errors are returned immediately:
-// a server FAILURE leaves the connection usable, so retries reuse it.
+// marked retryable (overload shed, shutdown, replica lag) and on transport
+// failures (refused/reset connections, mid-stream disconnects), the latter
+// against a freshly dialed connection. Terminal failures — syntax errors,
+// timeouts, panics — are returned immediately; a server FAILURE leaves the
+// connection usable, so those retries reuse it.
+//
+// Caveat: a transport failure after the server received a write leaves the
+// write's fate unknown; retrying makes delivery at-least-once. Idempotent
+// statements (reads, MATCH-guarded writes) are safe; blind CREATEs may be
+// duplicated.
 func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]model.Value, timeout time.Duration) ([]string, [][]cypher.Val, *Summary, error) {
 	attempts := policy.MaxAttempts
 	if attempts < 1 {
@@ -198,7 +236,19 @@ func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]mo
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(policy.backoff(attempt - 1))
+			time.Sleep(policy.Backoff(attempt - 1))
+		}
+		if c.conn == nil {
+			// Previous attempt lost the connection; redial before retrying.
+			nc, err := Dial(c.addr)
+			if err != nil {
+				lastErr = err
+				if !TransportRetryable(err) {
+					return nil, nil, nil, err
+				}
+				continue
+			}
+			c.conn, c.r, c.w = nc.conn, nc.r, nc.w
 		}
 		cols, rows, sum, err := c.RunTimeout(query, params, timeout)
 		if err == nil {
@@ -206,11 +256,46 @@ func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]mo
 		}
 		lastErr = err
 		var se *ServerError
-		if !errors.As(err, &se) || !se.Retryable() {
+		switch {
+		case errors.As(err, &se):
+			if !se.Retryable() {
+				return nil, nil, nil, err
+			}
+		case TransportRetryable(err) && c.addr != "":
+			// The connection is in an unknown protocol state; drop it and
+			// redial on the next attempt.
+			c.conn.Close()
+			c.conn = nil
+		default:
 			return nil, nil, nil, err
 		}
 	}
 	return nil, nil, nil, lastErr
+}
+
+// DialRetry is Dial with the policy's full-jitter backoff applied to
+// transport-level dial failures, for connecting to servers that may still
+// be starting up or briefly unreachable.
+func DialRetry(addr string, policy RetryPolicy) (*Client, error) {
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(policy.Backoff(attempt - 1))
+		}
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if !TransportRetryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 func decodeSummary(b []byte) (*Summary, error) {
@@ -238,6 +323,9 @@ func decodeSummary(b []byte) (*Summary, error) {
 
 // Close sends GOODBYE and closes the connection.
 func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
 	c.send([]byte{MsgGoodbye})
 	return c.conn.Close()
 }

@@ -1,0 +1,155 @@
+package bolt
+
+// Transport-failure retry coverage: the error classifier, DialRetry through
+// a flaky listener, and RunRetry redialing after a mid-stream disconnect.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTransportRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"server error", &ServerError{Code: FailOverloaded}, false},
+		{"retryable server error stays server-side", &ServerError{Code: FailReplicaLag}, false},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"wrapped eof", &net.OpError{Op: "read", Err: io.EOF}, true},
+		{"econnrefused", syscall.ECONNREFUSED, true},
+		{"wrapped econnrefused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"epipe", syscall.EPIPE, true},
+		{"net timeout", &net.OpError{Op: "read", Err: timeoutErr{}}, true},
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := TransportRetryable(tc.err); got != tc.want {
+			t.Errorf("%s: TransportRetryable(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// flakyProxy forwards TCP connections to a backend, can reject the next N
+// accepts outright, and can sever every live connection mid-stream.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+	reject  atomic.Int32
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func startFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend}
+	t.Cleanup(func() { ln.Close(); p.killAll() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if p.reject.Load() > 0 {
+				p.reject.Add(-1)
+				c.Close() // the client sees EOF before the handshake
+				continue
+			}
+			b, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, c, b)
+			p.mu.Unlock()
+			go func() { io.Copy(b, c); b.Close() }()
+			go func() { io.Copy(c, b); c.Close() }()
+		}
+	}()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) killAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+func TestDialRetryThroughFlakyListener(t *testing.T) {
+	_, addr, _ := startServerWith(t, Options{})
+	p := startFlakyProxy(t, addr)
+	p.reject.Store(3)
+	policy := RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	c, err := DialRetry(p.addr(), policy)
+	if err != nil {
+		t.Fatalf("DialRetry through flaky listener: %v", err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.RunTimeout("CREATE (n:R {x: 1})", nil, time.Second); err != nil {
+		t.Fatalf("query after flaky dial: %v", err)
+	}
+
+	// With too few attempts the flakiness wins and the error is transport-
+	// classified, so callers know a retry could have helped.
+	p.reject.Store(5)
+	_, err = DialRetry(p.addr(), RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	if err == nil {
+		t.Fatal("DialRetry succeeded against a rejecting listener")
+	}
+	if !TransportRetryable(err) {
+		t.Fatalf("dial failure not transport-classified: %v", err)
+	}
+	p.reject.Store(0)
+}
+
+func TestRunRetryRedialsAfterDisconnect(t *testing.T) {
+	_, addr, _ := startServerWith(t, Options{})
+	p := startFlakyProxy(t, addr)
+	policy := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	c, err := DialRetry(p.addr(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.RunRetry(policy, "CREATE (n:R {x: 1})", nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever every live connection: the next RunRetry hits a transport
+	// error, redials through the proxy, and still answers.
+	p.killAll()
+	_, rows, _, err := c.RunRetry(policy, "MATCH (n:R) RETURN n.x", nil, time.Second)
+	if err != nil {
+		t.Fatalf("RunRetry after disconnect: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows after redial, want 1", len(rows))
+	}
+}

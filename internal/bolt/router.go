@@ -1,0 +1,122 @@
+package bolt
+
+import (
+	"errors"
+	"time"
+
+	"aion/internal/cypher"
+	"aion/internal/model"
+)
+
+// Router is a replica-aware client: writes go to the primary, reads are
+// spread round-robin across the replicas with automatic fallback to the
+// primary when a replica is unreachable, read-only-rejects, or lags behind
+// the requested timestamp. Connections are dialed lazily and redialed after
+// transport failures. Not safe for concurrent use (like Client).
+//
+// The routing contract matches the replication design: replicas serve only
+// reads at or below their watermark, so any rejection is answered
+// authoritatively by the primary rather than by waiting for the replica to
+// catch up.
+type Router struct {
+	primary  string
+	replicas []string
+	policy   RetryPolicy
+
+	conns map[string]*Client
+	rr    int
+
+	// reroutes counts reads that had to fall back to another node.
+	reroutes uint64
+}
+
+// NewRouter creates a router over a primary address and zero or more
+// replica addresses. With no replicas every statement goes to the primary.
+func NewRouter(primary string, replicas []string, policy RetryPolicy) *Router {
+	return &Router{primary: primary, replicas: replicas, policy: policy,
+		conns: map[string]*Client{}}
+}
+
+// Reroutes returns how many reads fell back from a replica to another node.
+func (rt *Router) Reroutes() uint64 { return rt.reroutes }
+
+func (rt *Router) client(addr string) (*Client, error) {
+	if c, ok := rt.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := DialRetry(addr, rt.policy)
+	if err != nil {
+		return nil, err
+	}
+	rt.conns[addr] = c
+	return c, nil
+}
+
+func (rt *Router) drop(addr string) {
+	if c, ok := rt.conns[addr]; ok {
+		delete(rt.conns, addr)
+		c.Close()
+	}
+}
+
+// reroutable reports whether a read that failed on a replica should be
+// tried on another node: transport failures, retryable server states, and
+// the replica-specific rejections (read-only, lag, diverged fail-stop).
+func reroutable(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Retryable() || se.Code == FailReadOnly || se.Code == FailDiverged
+	}
+	return TransportRetryable(err)
+}
+
+// Run routes one statement: parsed writes go straight to the primary with
+// the full retry policy; reads try each replica once (round-robin start)
+// and fall back to the primary. A query that fails to parse is still sent
+// to the primary so the caller sees the server's error.
+func (rt *Router) Run(query string, params map[string]model.Value, timeout time.Duration) ([]string, [][]cypher.Val, *Summary, error) {
+	st, perr := cypher.Parse(query)
+	if perr == nil && !cypher.IsWrite(st) && len(rt.replicas) > 0 {
+		var lastErr error
+		for i := 0; i < len(rt.replicas); i++ {
+			addr := rt.replicas[(rt.rr+i)%len(rt.replicas)]
+			c, err := rt.client(addr)
+			if err != nil {
+				lastErr = err
+				rt.reroutes++
+				continue
+			}
+			cols, rows, sum, err := c.RunTimeout(query, params, timeout)
+			if err == nil {
+				rt.rr = (rt.rr + i + 1) % len(rt.replicas)
+				return cols, rows, sum, nil
+			}
+			lastErr = err
+			if !reroutable(err) {
+				return nil, nil, nil, err
+			}
+			if TransportRetryable(err) {
+				rt.drop(addr)
+			}
+			rt.reroutes++
+		}
+		_ = lastErr // every replica refused; the primary answers below
+	}
+	c, err := rt.client(rt.primary)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cols, rows, sum, err := c.RunRetry(rt.policy, query, params, timeout)
+	if err != nil && TransportRetryable(err) {
+		rt.drop(rt.primary)
+	}
+	return cols, rows, sum, err
+}
+
+// Close closes every connection the router holds.
+func (rt *Router) Close() {
+	for addr, c := range rt.conns {
+		delete(rt.conns, addr)
+		c.Close()
+	}
+}

@@ -40,6 +40,51 @@ type Options struct {
 	// WriteTimeout bounds each response flush, so one stalled client
 	// cannot pin a serving goroutine. Zero means no write deadline.
 	WriteTimeout time.Duration
+	// ReadGate, when set, screens every parsed statement before execution.
+	// Replica servers use it to reject writes (FailReadOnly) and reads above
+	// the replicated watermark (FailReplicaLag). A *ServerError return is
+	// sent to the client with its code; any other error maps to FailGeneric.
+	ReadGate func(st *cypher.Statement, params map[string]model.Value) error
+	// ReplicationHandler, when set, takes over a connection whose client
+	// sends MsgReplicate after the handshake: the serve loop clears its
+	// deadlines and hands the connection (with its buffered reader/writer
+	// and the request frame) to the handler, which owns it until it returns.
+	// Primaries install the log-shipping source here.
+	ReplicationHandler func(conn net.Conn, r *bufio.Reader, w *bufio.Writer, req []byte)
+	// Replication, when set, contributes replication counters to Metrics.
+	Replication Replicator
+}
+
+// ReplicationMetrics is a snapshot of a node's replication counters. On a
+// primary the Shipped/heartbeat counters move; on a follower the Applied,
+// Reconnects, and watermark fields do.
+type ReplicationMetrics struct {
+	// FramesShipped / BytesShipped count transaction-log records (and their
+	// payload bytes) sent to followers.
+	FramesShipped uint64
+	BytesShipped  uint64
+	// FramesApplied / BytesApplied count records verified and applied on a
+	// follower.
+	FramesApplied uint64
+	BytesApplied  uint64
+	// Heartbeats counts keepalive frames sent (primary) or received
+	// (follower).
+	Heartbeats uint64
+	// Reconnects counts follower stream re-establishments after a dial
+	// failure or mid-stream disconnect.
+	Reconnects uint64
+	// Watermark is the follower's replicated-watermark timestamp: the
+	// highest commit it can serve.
+	Watermark int64
+	// WatermarkLag is the primary clock minus the watermark as of the last
+	// heartbeat — how far behind this follower is, in commit timestamps.
+	WatermarkLag int64
+}
+
+// Replicator exposes replication counters for the metrics surface; both the
+// primary-side source and the follower-side applier implement it.
+type Replicator interface {
+	ReplicationStats() ReplicationMetrics
 }
 
 // Metrics is a snapshot of the server's admission counters.
@@ -52,6 +97,12 @@ type Metrics struct {
 	Timeouts uint64
 	// Panics counts queries that crashed and were contained (FailPanic).
 	Panics uint64
+	// Rejected counts statements refused by the read gate (replica writes
+	// and above-watermark reads).
+	Rejected uint64
+	// Replication holds the node's replication counters when replication is
+	// configured, nil otherwise.
+	Replication *ReplicationMetrics
 }
 
 // Server serves temporal Cypher over the Bolt-like protocol. Each
@@ -93,6 +144,7 @@ type Server struct {
 	shed     atomic.Uint64
 	timeouts atomic.Uint64
 	panics   atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // NewServer creates a server over a Cypher engine. Options are variadic so
@@ -119,12 +171,18 @@ func NewServer(engine *cypher.Engine, opts ...Options) *Server {
 
 // Metrics returns a snapshot of the admission counters.
 func (s *Server) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Queries:  s.queries.Load(),
 		Shed:     s.shed.Load(),
 		Timeouts: s.timeouts.Load(),
 		Panics:   s.panics.Load(),
+		Rejected: s.rejected.Load(),
 	}
+	if s.opts.Replication != nil {
+		rm := s.opts.Replication.ReplicationStats()
+		m.Replication = &rm
+	}
+	return m
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -262,7 +320,9 @@ func (s *Server) queryContext(reqTimeout time.Duration) (context.Context, contex
 
 // runQuery executes one statement with panic containment: a crash inside
 // the engine is converted to a FailPanic ServerError instead of unwinding
-// the connection goroutine (and with it the server).
+// the connection goroutine (and with it the server). The statement is
+// parsed here (not in the engine) so the read gate can screen the AST
+// before any execution work happens.
 func (s *Server) runQuery(ctx context.Context, query string, params map[string]model.Value) (res *cypher.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -271,7 +331,17 @@ func (s *Server) runQuery(ctx context.Context, query string, params map[string]m
 			err = &ServerError{Code: FailPanic, Msg: fmt.Sprintf("query panicked: %v", p)}
 		}
 	}()
-	return s.engine.QueryContext(ctx, query, params)
+	st, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.ReadGate != nil {
+		if gerr := s.opts.ReadGate(st, params); gerr != nil {
+			s.rejected.Add(1)
+			return nil, gerr
+		}
+	}
+	return s.engine.ExecContext(ctx, st, params)
 }
 
 // rowFlushStride is how many RECORD frames are buffered between flushes
@@ -342,6 +412,19 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch frame[0] {
 		case MsgGoodbye:
+			return
+		case MsgReplicate:
+			if s.opts.ReplicationHandler == nil {
+				if fail(FailGeneric, "bolt: replication not enabled") != nil {
+					return
+				}
+				continue
+			}
+			// The connection becomes a long-lived push stream owned by the
+			// replication source; idle deadlines no longer apply.
+			conn.SetReadDeadline(time.Time{})
+			conn.SetWriteDeadline(time.Time{})
+			s.opts.ReplicationHandler(conn, r, w, frame)
 			return
 		case MsgRun:
 			// A RUN while a result is pending replaces it; the previous

@@ -25,6 +25,14 @@ const (
 	MsgRecord  byte = 0x71
 	MsgSuccess byte = 0x70
 	MsgFailure byte = 0x7F
+
+	// Replication stream messages (internal/replica). A follower sends
+	// MsgReplicate after HELLO to convert the connection into a one-way
+	// log-shipping stream; the primary then pushes MsgRepBatch frames and
+	// MsgRepHeartbeat keepalives until the connection drops.
+	MsgReplicate    byte = 0x60
+	MsgRepBatch     byte = 0x61
+	MsgRepHeartbeat byte = 0x62
 )
 
 // FAILURE codes. A FAILURE frame is [MsgFailure, code, message string]; the
@@ -49,6 +57,19 @@ const (
 	// contained to this query; the connection and server remain usable.
 	// Terminal, since the same statement would likely crash again.
 	FailPanic byte = 0x04
+	// FailReplicaLag means a replica rejected a read because the requested
+	// timestamp lies above its replicated watermark (or the replica has
+	// fallen beyond its staleness bound). Retryable: the watermark advances
+	// as the primary's log streams in, and routing clients fall back to
+	// the primary.
+	FailReplicaLag byte = 0x05
+	// FailReadOnly means a write statement reached a replica. Terminal on
+	// this server; a routing client redirects the statement to the primary.
+	FailReadOnly byte = 0x06
+	// FailDiverged means the replication stream failed verification (CRC or
+	// offset mismatch). The replica has fail-stopped and serves no further
+	// queries; operator intervention (re-seed) is required.
+	FailDiverged byte = 0x07
 )
 
 // ServerError is a FAILURE received from the server, carrying the failure
@@ -67,7 +88,7 @@ func (e *ServerError) Error() string {
 // Retryable reports whether the same statement may succeed if retried
 // after a backoff.
 func (e *ServerError) Retryable() bool {
-	return e.Code == FailOverloaded || e.Code == FailShuttingDown
+	return e.Code == FailOverloaded || e.Code == FailShuttingDown || e.Code == FailReplicaLag
 }
 
 func failName(code byte) string {
@@ -80,6 +101,12 @@ func failName(code byte) string {
 		return "shutting down"
 	case FailPanic:
 		return "panic"
+	case FailReplicaLag:
+		return "replica lag"
+	case FailReadOnly:
+		return "read only"
+	case FailDiverged:
+		return "diverged"
 	}
 	return "error"
 }
@@ -128,6 +155,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 	_, err := w.Write(payload)
 	return err
 }
+
+// WriteFrame sends one length-prefixed message. Exported for the
+// replication stream (internal/replica), which reuses Bolt's framing for
+// its log shipments.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ReadFrame receives one length-prefixed message (see WriteFrame).
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
 
 // readFrame receives one length-prefixed message.
 func readFrame(r io.Reader) ([]byte, error) {

@@ -106,9 +106,10 @@ func (e *Engine) Exec(st *Statement, params map[string]model.Value) (*Result, er
 	return e.ExecContext(context.Background(), st, params)
 }
 
-// isWrite reports whether st mutates the graph (and must therefore hold a
-// side of the write lock).
-func isWrite(st *Statement) bool {
+// IsWrite reports whether st mutates the graph (and must therefore hold a
+// side of the write lock). Exported so serving layers can route or reject
+// writes (replicas are read-only) before execution.
+func IsWrite(st *Statement) bool {
 	if st.Create != nil {
 		return true
 	}
@@ -117,6 +118,9 @@ func isWrite(st *Statement) bool {
 	}
 	return false
 }
+
+// isWrite is the internal alias for IsWrite.
+func isWrite(st *Statement) bool { return IsWrite(st) }
 
 // isBlindCreate reports whether st only creates new entities (a bare CREATE
 // with no MATCH part): such statements allocate fresh ids and reference no

@@ -56,6 +56,11 @@ type Options struct {
 	// two fsyncs each). This is the pre-pipeline write path, kept as the
 	// ablation baseline for the commit-throughput benchmarks.
 	NoGroupCommit bool
+	// Replica marks this database as a replication follower: local
+	// transactions are rejected with ErrReplicaReadOnly and all changes
+	// arrive through ApplyShipment, which replays the primary's WAL bytes
+	// verbatim.
+	Replica bool
 	// FS is the filesystem everything is stored on; nil means the real OS
 	// filesystem (used by the crash-recovery tests to inject faults).
 	FS vfs.FS
@@ -800,6 +805,9 @@ func (tx *Tx) Commit() (model.Timestamp, error) {
 	if len(tx.updates) == 0 {
 		return tx.db.Clock(), nil
 	}
+	if tx.db.opts.Replica {
+		return 0, ErrReplicaReadOnly
+	}
 	db := tx.db
 	req := &commitReq{updates: tx.updates, done: make(chan struct{})}
 	db.qmu.Lock()
@@ -1004,6 +1012,15 @@ func (db *DB) applyAndAppend(batch []*commitReq) ([][]model.Update, error) {
 			return applied, err
 		}
 		recs = append(recs, rec)
+	}
+	// Encoding interned this batch's strings into the table's user-space
+	// buffer; push them to the OS before the log bytes that reference them.
+	// The fsync pair after the group (strings before log) orders durability
+	// under power loss, but a process crash keeps every completed write and
+	// drops the buffer — without this flush a kill -9 here would leave log
+	// records in the page cache whose refs dangle on recovery.
+	if err := db.strings.Flush(); err != nil {
+		return applied, err
 	}
 	if _, err := db.txnLog.AppendBatch(recs); err != nil {
 		return applied, err

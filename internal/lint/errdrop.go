@@ -12,6 +12,7 @@ import (
 // the crash-recovery story.
 var errDropPackages = []string{
 	"wal", "pagecache", "strstore", "timestore", "lineagestore", "hostdb",
+	"replica",
 }
 
 // errDropMethods are the durability-bearing method names whose error

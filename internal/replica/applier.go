@@ -1,0 +1,211 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aion/internal/bolt"
+	"aion/internal/model"
+	"aion/internal/system"
+)
+
+// Applier is the follower-side end of the stream: it verifies each
+// shipment's offsets against the follower's own durable extents, makes the
+// bytes durable, replays them through the host's commit path (which feeds
+// the follower's Aion instance), and advances the replicated watermark —
+// the highest commit timestamp the follower may serve.
+//
+// The applier is sticky-failed like the stores underneath it: the first
+// divergence (offset or CRC mismatch, replay failure) poisons it, every
+// later Apply and every gated read fails, and only operator re-seeding
+// recovers the node. Serving subtly wrong history would be strictly worse
+// than serving nothing.
+type Applier struct {
+	sys *system.System
+
+	// StalenessBound is how many commit timestamps a follower may lag the
+	// primary and still serve latest (non-temporal) reads; beyond it those
+	// reads are rejected with FailReplicaLag so routing clients degrade to
+	// primary-only serving. Zero means no bound. Historical reads at or
+	// below the watermark are always served — their answers cannot change.
+	StalenessBound model.Timestamp
+	// DisconnectGrace rejects latest reads when no shipment or heartbeat
+	// has arrived for this long (the follower cannot know its lag). Zero
+	// disables the check.
+	DisconnectGrace time.Duration
+
+	// now is replaced in tests to drive the disconnect-grace clock.
+	now func() time.Time
+
+	mu          sync.Mutex
+	watermark   model.Timestamp
+	primaryTS   model.Timestamp
+	lastContact time.Time
+	failed      error
+
+	framesApplied atomic.Uint64
+	bytesApplied  atomic.Uint64
+	heartbeats    atomic.Uint64
+	reconnects    atomic.Uint64
+}
+
+// NewApplier creates an applier over a follower system (opened with
+// system.Options.Replica). The watermark starts at the follower's
+// recovered clock: everything already in its own durable log is servable.
+func NewApplier(sys *system.System) *Applier {
+	return &Applier{sys: sys, now: time.Now, watermark: sys.Host.Clock()}
+}
+
+// Offsets returns the follower's durable file extents — the resume point a
+// (re)connecting follower sends to the primary. After a crash these are
+// re-read from the reopened files, so the stream always resumes exactly
+// where durability left off.
+func (a *Applier) Offsets() (strOff, txnOff int64) {
+	return a.sys.Host.DurableExtents()
+}
+
+// Watermark returns the replicated watermark: the highest commit timestamp
+// this follower can serve.
+func (a *Applier) Watermark() model.Timestamp {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.watermark
+}
+
+// Err returns the sticky divergence error, if any.
+func (a *Applier) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failed
+}
+
+// MarkDiverged poisons the applier (stream-level divergence detected by
+// the follower loop: CRC mismatch, primary-reported divergence).
+func (a *Applier) MarkDiverged(err error) {
+	a.mu.Lock()
+	if a.failed == nil {
+		a.failed = err
+	}
+	a.mu.Unlock()
+}
+
+// NoteReconnect counts a stream re-establishment (metrics).
+func (a *Applier) NoteReconnect() { a.reconnects.Add(1) }
+
+// Note records a heartbeat: the primary's clock, for lag accounting.
+func (a *Applier) Note(hb Heartbeat) {
+	a.heartbeats.Add(1)
+	a.mu.Lock()
+	if hb.LatestTS > a.primaryTS {
+		a.primaryTS = hb.LatestTS
+	}
+	a.lastContact = a.now()
+	a.mu.Unlock()
+}
+
+// Apply ingests one shipment: verify its offsets land exactly at this
+// follower's durable extents, append + fsync + replay through the host
+// (durability before visibility), then advance the watermark. Any
+// mismatch or replay failure is divergence and poisons the applier.
+func (a *Applier) Apply(sh *Shipment) error {
+	a.mu.Lock()
+	if a.failed != nil {
+		err := a.failed
+		a.mu.Unlock()
+		return err
+	}
+	a.mu.Unlock()
+
+	strOff, txnOff := a.Offsets()
+	if sh.StrOff != strOff || sh.TxnOff != txnOff {
+		err := fmt.Errorf("replica: shipment offsets (str %d, txn %d) do not match follower extents (str %d, txn %d): diverged",
+			sh.StrOff, sh.TxnOff, strOff, txnOff)
+		a.MarkDiverged(err)
+		return err
+	}
+	ts, err := a.sys.Host.ApplyShipment(sh.Strings, sh.Frames)
+	if err != nil {
+		a.MarkDiverged(err)
+		return err
+	}
+	if a.sys.Aion != nil {
+		if aerr := a.sys.Aion.Err(); aerr != nil {
+			a.MarkDiverged(fmt.Errorf("replica: temporal store ingest: %w", aerr))
+			return a.sys.Aion.Err()
+		}
+	}
+
+	a.framesApplied.Add(uint64(len(sh.Frames)))
+	n := len(sh.Strings)
+	for _, f := range sh.Frames {
+		n += len(f)
+	}
+	a.bytesApplied.Add(uint64(n))
+
+	a.mu.Lock()
+	if ts > a.watermark {
+		a.watermark = ts
+	}
+	if sh.LatestTS > a.primaryTS {
+		a.primaryTS = sh.LatestTS
+	}
+	a.lastContact = a.now()
+	a.mu.Unlock()
+	return nil
+}
+
+// CheckTimestamp reports whether a read at ts may be served: nil when ts
+// is at or below the watermark on a healthy applier, a typed retryable
+// FAILURE otherwise.
+func (a *Applier) CheckTimestamp(ts model.Timestamp) error {
+	a.mu.Lock()
+	failed, wm := a.failed, a.watermark
+	a.mu.Unlock()
+	if failed != nil {
+		return &bolt.ServerError{Code: bolt.FailDiverged, Msg: failed.Error()}
+	}
+	if ts > wm {
+		return &bolt.ServerError{Code: bolt.FailReplicaLag,
+			Msg: fmt.Sprintf("replica: timestamp %d above replicated watermark %d", ts, wm)}
+	}
+	return nil
+}
+
+// latestOK reports whether a latest (non-temporal) read may be served:
+// the follower must have heard from the primary within DisconnectGrace
+// and lag it by at most StalenessBound commits.
+func (a *Applier) latestOK() error {
+	a.mu.Lock()
+	wm, pts, last := a.watermark, a.primaryTS, a.lastContact
+	a.mu.Unlock()
+	if a.DisconnectGrace > 0 && (last.IsZero() || a.now().Sub(last) > a.DisconnectGrace) {
+		return &bolt.ServerError{Code: bolt.FailReplicaLag,
+			Msg: "replica: no contact with primary within the disconnect grace; latest reads unavailable"}
+	}
+	if a.StalenessBound > 0 && pts-wm > a.StalenessBound {
+		return &bolt.ServerError{Code: bolt.FailReplicaLag,
+			Msg: fmt.Sprintf("replica: lagging primary by %d commits (bound %d); latest reads unavailable", pts-wm, a.StalenessBound)}
+	}
+	return nil
+}
+
+// ReplicationStats implements bolt.Replicator.
+func (a *Applier) ReplicationStats() bolt.ReplicationMetrics {
+	a.mu.Lock()
+	wm, pts := a.watermark, a.primaryTS
+	a.mu.Unlock()
+	lag := int64(pts - wm)
+	if lag < 0 {
+		lag = 0
+	}
+	return bolt.ReplicationMetrics{
+		FramesApplied: a.framesApplied.Load(),
+		BytesApplied:  a.bytesApplied.Load(),
+		Heartbeats:    a.heartbeats.Load(),
+		Reconnects:    a.reconnects.Load(),
+		Watermark:     int64(wm),
+		WatermarkLag:  lag,
+	}
+}

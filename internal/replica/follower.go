@@ -1,0 +1,203 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"aion/internal/bolt"
+)
+
+// Follower maintains one replication stream from a follower node to its
+// primary: dial, handshake, send resume offsets, then apply pushed
+// shipments until the stream breaks — and reconnect with full-jitter
+// backoff, re-reading the resume offsets from the follower's durable
+// extents each time, so a crash on either side (or a torn network) always
+// resumes exactly where durability left off.
+type Follower struct {
+	Applier *Applier
+	// Addr is the primary's Bolt address.
+	Addr string
+	// Policy is the reconnect backoff schedule (bolt's full-jitter policy,
+	// the same one RunRetry uses). MaxAttempts bounds CONSECUTIVE failed
+	// connection attempts; any applied shipment resets the count. Zero
+	// value takes bolt.DefaultRetryPolicy with unbounded attempts.
+	Policy bolt.RetryPolicy
+	// ReadTimeout is the heartbeat liveness bound: a stream silent for this
+	// long is declared dead and redialed. Zero defaults to 2s.
+	ReadTimeout time.Duration
+
+	// Dial is replaceable in tests; nil means net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// errDiverged wraps a divergence the loop must fail-stop on instead of
+// reconnecting.
+type errDiverged struct{ err error }
+
+func (e errDiverged) Error() string { return e.err.Error() }
+func (e errDiverged) Unwrap() error { return e.err }
+
+// Run drives the stream until ctx is cancelled (returns nil) or the
+// follower fail-stops on divergence (returns the divergence error).
+// Transient failures — refused dials, mid-stream disconnects, heartbeat
+// silence — are retried forever (or up to Policy.MaxAttempts consecutive
+// failures) with full-jitter backoff.
+func (f *Follower) Run(ctx context.Context) error {
+	policy := f.Policy
+	if policy.BaseDelay == 0 {
+		policy = bolt.DefaultRetryPolicy()
+		policy.MaxAttempts = 0 // reconnect forever by default
+	}
+	dial := f.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if attempt > 0 {
+			if policy.MaxAttempts > 0 && attempt >= policy.MaxAttempts {
+				return fmt.Errorf("replica: giving up after %d consecutive connection failures", attempt)
+			}
+			f.Applier.NoteReconnect()
+			t := time.NewTimer(policy.Backoff(attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-t.C:
+			}
+		}
+		attempt++
+		err := f.stream(ctx, dial)
+		var div errDiverged
+		if errors.As(err, &div) {
+			f.Applier.MarkDiverged(div.err)
+			return div.err
+		}
+		if err == nil {
+			attempt = 0 // made progress before the stream broke
+		}
+	}
+}
+
+// stream runs one connection's lifetime. It returns nil when the stream
+// made progress (at least one shipment or heartbeat) before breaking, a
+// plain error when it broke without progress (counts against the
+// consecutive-failure budget), and errDiverged to fail-stop.
+func (f *Follower) stream(ctx context.Context, dial func(string) (net.Conn, error)) error {
+	readTimeout := f.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 2 * time.Second
+	}
+	conn, err := dial(f.Addr)
+	if err != nil {
+		return err
+	}
+	//aionlint:ignore errdrop network socket teardown, not a durability boundary; every store write the stream caused was already fsynced by Applier.Apply
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	// HELLO handshake, then convert the connection into a replication
+	// stream with our durable resume offsets.
+	hello := []byte{bolt.MsgHello}
+	hello = append(hello, byte(len("aion-replica")))
+	hello = append(hello, "aion-replica"...)
+	if err := bolt.WriteFrame(w, hello); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(readTimeout))
+	frame, err := bolt.ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if len(frame) == 0 || frame[0] != bolt.MsgSuccess {
+		return fmt.Errorf("replica: handshake rejected")
+	}
+	strOff, txnOff := f.Applier.Offsets()
+	if err := bolt.WriteFrame(w, EncodeRequest(strOff, txnOff)); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	progressed := false
+	result := func(err error) error {
+		if progressed {
+			return nil
+		}
+		return err
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		frame, err := bolt.ReadFrame(r)
+		if err != nil {
+			// Heartbeat silence past the liveness bound or a broken
+			// connection: either way the stream is dead; redial.
+			return result(err)
+		}
+		if len(frame) == 0 {
+			return result(fmt.Errorf("replica: empty frame"))
+		}
+		switch frame[0] {
+		case bolt.MsgRepBatch:
+			sh, err := DecodeShipment(frame[1:])
+			if err != nil {
+				if errors.Is(err, ErrCRC) {
+					return errDiverged{err}
+				}
+				return result(err)
+			}
+			if err := f.Applier.Apply(sh); err != nil {
+				// Apply failures are divergence by construction (offset
+				// mismatch, replay failure): fail-stop.
+				return errDiverged{err}
+			}
+			progressed = true
+		case bolt.MsgRepHeartbeat:
+			hb, err := DecodeHeartbeat(frame[1:])
+			if err != nil {
+				return result(err)
+			}
+			f.Applier.Note(hb)
+			progressed = true
+		case bolt.MsgFailure:
+			se := decodeFailureFrame(frame[1:])
+			if se.Code == bolt.FailDiverged {
+				return errDiverged{se}
+			}
+			return result(se)
+		default:
+			return result(fmt.Errorf("replica: unexpected stream message 0x%x", frame[0]))
+		}
+	}
+}
+
+// decodeFailureFrame decodes a FAILURE body ([code, uvarint len, msg])
+// into a ServerError.
+func decodeFailureFrame(b []byte) *bolt.ServerError {
+	if len(b) == 0 {
+		return &bolt.ServerError{Code: bolt.FailGeneric, Msg: "unknown failure"}
+	}
+	code := b[0]
+	msg := ""
+	if n, w := binary.Uvarint(b[1:]); w > 0 && uint64(len(b)-1-w) >= n {
+		msg = string(b[1+w : 1+w+int(n)])
+	}
+	return &bolt.ServerError{Code: code, Msg: msg}
+}

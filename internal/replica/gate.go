@@ -1,0 +1,125 @@
+package replica
+
+import (
+	"fmt"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/model"
+)
+
+// procTSArgs maps each built-in temporal procedure to the positions of its
+// timestamp arguments, so the gate can bound a CALL's reads against the
+// watermark before execution. Range procedures list both endpoints; the
+// gate conservatively requires every timestamp argument to be at or below
+// the watermark. Procedures absent from the table (none today; a user
+// extension point tomorrow) pass ungated — they can only read what the
+// follower's stores hold, which never exceeds the watermark.
+var procTSArgs = map[string][]int{
+	"aion.node":                     {1, 2},
+	"aion.relationship":             {1, 2},
+	"aion.relationships":            {2, 3},
+	"aion.expand":                   {3},
+	"aion.diff":                     {0, 1},
+	"aion.graph":                    {0},
+	"aion.window":                   {0, 1},
+	"aion.stats":                    {},
+	"aion.incremental.avg":          {1, 2},
+	"aion.incremental.bfs":          {1, 2},
+	"aion.incremental.pagerank":     {0, 1},
+	"aion.incremental.sssp":         {2, 3},
+	"aion.incremental.coloring":     {0, 1},
+	"aion.temporal.earliestArrival": {2, 3},
+	"aion.temporal.latestDeparture": {2, 3},
+}
+
+// lagError wraps an unevaluable-timestamp condition as a retryable
+// FAILURE: the gate cannot prove the read stays below the watermark, and
+// the primary can always answer it.
+func lagError(format string, args ...any) error {
+	return &bolt.ServerError{Code: bolt.FailReplicaLag, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Gate is the follower's statement screen, installed as
+// bolt.Options.ReadGate. It enforces the serving contract:
+//
+//   - a poisoned (diverged) follower serves nothing;
+//   - writes are rejected with FailReadOnly (terminal here; routers send
+//     them to the primary);
+//   - temporal reads must lie entirely at or below the watermark — their
+//     answers are immutable history the follower already holds;
+//   - latest reads are served at the watermark only while the follower is
+//     fresh (StalenessBound, DisconnectGrace); otherwise FailReplicaLag
+//     degrades the deployment to primary-only serving.
+//
+// Timestamp expressions are resolved from literals and parameters only; a
+// timestamp the gate cannot evaluate (e.g. computed from matched data) is
+// conservatively rejected as retryable — the primary answers it.
+func (a *Applier) Gate(st *cypher.Statement, params map[string]model.Value) error {
+	if err := a.Err(); err != nil {
+		return &bolt.ServerError{Code: bolt.FailDiverged, Msg: err.Error()}
+	}
+	if cypher.IsWrite(st) {
+		return &bolt.ServerError{Code: bolt.FailReadOnly, Msg: "replica: writes must go to the primary"}
+	}
+	eval := func(e cypher.Expr) (model.Value, error) {
+		switch x := e.(type) {
+		case cypher.Lit:
+			return x.V, nil
+		case *cypher.Lit:
+			return x.V, nil
+		case cypher.Param:
+			v, ok := params[x.Name]
+			if !ok {
+				return model.Value{}, fmt.Errorf("missing parameter $%s", x.Name)
+			}
+			return v, nil
+		case *cypher.Param:
+			v, ok := params[x.Name]
+			if !ok {
+				return model.Value{}, fmt.Errorf("missing parameter $%s", x.Name)
+			}
+			return v, nil
+		}
+		return model.Value{}, fmt.Errorf("timestamp not statically evaluable")
+	}
+
+	wm := a.Watermark()
+	if c := st.Call; c != nil {
+		idxs, known := procTSArgs[c.Name]
+		if !known {
+			return nil
+		}
+		for _, i := range idxs {
+			if i >= len(c.Args) {
+				continue // arity error; the engine reports it properly
+			}
+			v, err := eval(c.Args[i])
+			if err != nil {
+				return lagError("replica: cannot bound CALL %s timestamp: %v", c.Name, err)
+			}
+			if ts := model.Timestamp(v.Int()); ts > wm {
+				return lagError("replica: CALL %s at timestamp %d above replicated watermark %d", c.Name, ts, wm)
+			}
+		}
+		return nil
+	}
+
+	if st.Temporal.Kind == cypher.TemporalNone {
+		return a.latestOK()
+	}
+	iv, err := st.Temporal.Window(eval)
+	if err != nil {
+		return lagError("replica: cannot bound temporal window: %v", err)
+	}
+	// AS OF t yields {t, t}; ranges yield half-open [Start, End) whose
+	// newest required version is End-1.
+	need := iv.End - 1
+	if iv.Start == iv.End {
+		need = iv.Start
+	}
+	if need > wm {
+		return lagError("replica: read at timestamp %d above replicated watermark %d", need, wm)
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aion/internal/aion"
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/hostdb"
+	"aion/internal/model"
+	"aion/internal/system"
+	"aion/internal/vfs"
+)
+
+// openNode opens one system (primary or follower) on fs under dir.
+func openNode(t *testing.T, fs vfs.FS, dir string, asReplica bool) *system.System {
+	t.Helper()
+	s, err := system.Open(system.Options{
+		Dir: dir, SyncCommits: true, Replica: asReplica, FS: fs,
+		Aion: aion.Options{SnapshotEveryOps: 1 << 30, ParallelIO: 1},
+	})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return s
+}
+
+// drive commits txns deterministic transactions on the primary: each adds
+// node i+1 (1-based), links it to its predecessor, and bumps a property on
+// an earlier node. Returns the acked commit timestamps.
+func drive(t *testing.T, s *system.System, txns int) []model.Timestamp {
+	t.Helper()
+	var acked []model.Timestamp
+	for i := 0; i < txns; i++ {
+		id := model.NodeID(i + 1)
+		ts, err := s.Host.Run(func(tx *hostdb.Tx) error {
+			if err := tx.CreateNodeWithID(id, []string{"P"}, model.Properties{"i": model.IntValue(int64(i))}); err != nil {
+				return err
+			}
+			if i > 0 {
+				if err := tx.CreateRelWithID(model.RelID(i), id-1, id, "NEXT",
+					model.Properties{"w": model.IntValue(int64(i))}); err != nil {
+					return err
+				}
+				return tx.SetNodeProps(model.NodeID(i), model.Properties{"seen": model.IntValue(int64(i))}, nil)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		acked = append(acked, ts)
+	}
+	return acked
+}
+
+// pump ships from src to app until the stream has no durable bytes left.
+func pump(src *Source, app *Applier, maxBytes int) error {
+	for {
+		so, to := app.Offsets()
+		sh, err := src.Shipment(so, to, maxBytes)
+		if err != nil {
+			return err
+		}
+		if sh.Empty() {
+			return nil
+		}
+		if err := app.Apply(sh); err != nil {
+			return err
+		}
+	}
+}
+
+func readFile(t *testing.T, fs vfs.FS, path string) []byte {
+	t.Helper()
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	n, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, n)
+	if n > 0 {
+		if _, err := f.ReadAt(b, 0); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+	}
+	return b
+}
+
+func TestShipmentCodecRoundtrip(t *testing.T) {
+	sh := &Shipment{
+		StrOff: 17, Strings: []byte("\x03\x00\x00\x00abc"),
+		TxnOff: 400, NextTxn: 512,
+		Frames:     [][]byte{{1, 2, 3}, {}, {9}},
+		StrDurable: 24, TxnDurable: 512, LatestTS: 42,
+	}
+	b := EncodeShipment(sh)
+	if b[0] != bolt.MsgRepBatch {
+		t.Fatalf("message byte 0x%x", b[0])
+	}
+	got, err := DecodeShipment(b[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StrOff != sh.StrOff || string(got.Strings) != string(sh.Strings) ||
+		got.TxnOff != sh.TxnOff || got.NextTxn != sh.NextTxn ||
+		got.StrDurable != sh.StrDurable || got.TxnDurable != sh.TxnDurable ||
+		got.LatestTS != sh.LatestTS || len(got.Frames) != 3 ||
+		string(got.Frames[0]) != "\x01\x02\x03" || len(got.Frames[1]) != 0 || string(got.Frames[2]) != "\x09" {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+
+	// Flip one payload byte: the CRC must catch it and classify it as
+	// divergence, not a transport retry.
+	for _, corrupt := range []int{5, len(b) - 3} {
+		bad := append([]byte(nil), b...)
+		bad[corrupt] ^= 0x40
+		if _, err := DecodeShipment(bad[1:]); err == nil {
+			t.Fatalf("corruption at %d undetected", corrupt)
+		}
+	}
+	hb := Heartbeat{StrDurable: 1, TxnDurable: 2, LatestTS: 3}
+	hbb := EncodeHeartbeat(hb)
+	got2, err := DecodeHeartbeat(hbb[1:])
+	if err != nil || got2 != hb {
+		t.Fatalf("heartbeat roundtrip: %+v %v", got2, err)
+	}
+	reqb := EncodeRequest(7, 9)
+	so, to, err := DecodeRequest(reqb[1:])
+	if err != nil || so != 7 || to != 9 {
+		t.Fatalf("request roundtrip: %d %d %v", so, to, err)
+	}
+}
+
+func TestReplicationConvergence(t *testing.T) {
+	pfs, ffs := vfs.NewFaultFS(), vfs.NewFaultFS()
+	p := openNode(t, pfs, "primary", false)
+	defer p.Close()
+	f := openNode(t, ffs, "follower", true)
+	defer f.Close()
+
+	drive(t, p, 20)
+	src := NewSource(p.Host)
+	app := NewApplier(f)
+	// Tiny shipments force many rounds (strings-only rounds included).
+	if err := pump(src, app, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if wm := app.Watermark(); wm != p.Host.Clock() {
+		t.Fatalf("watermark %d, primary clock %d", wm, p.Host.Clock())
+	}
+	pn, pr := p.Host.Counts()
+	fn, fr := f.Host.Counts()
+	if pn != fn || pr != fr {
+		t.Fatalf("follower %d nodes/%d rels, primary %d/%d", fn, fr, pn, pr)
+	}
+
+	// Byte identity: the follower's log and string table are exactly the
+	// primary's durable prefixes (equal here, since everything is synced).
+	for _, name := range []string{"neostore.transaction.db", "host-strings.db"} {
+		pb := readFile(t, pfs, "primary/"+name)
+		fb := readFile(t, ffs, "follower/"+name)
+		if string(pb) != string(fb) {
+			t.Fatalf("%s differs: primary %d bytes, follower %d bytes", name, len(pb), len(fb))
+		}
+	}
+
+	// The follower's Aion saw every commit.
+	if err := f.Aion.WaitSync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Aion.LatestTimestamp(); got != p.Host.Clock() {
+		t.Fatalf("follower aion at ts %d, primary clock %d", got, p.Host.Clock())
+	}
+
+	// Local writes are rejected; the watermark gate rejects the future.
+	_, err := f.Host.Run(func(tx *hostdb.Tx) error {
+		_, err := tx.CreateNode(nil, nil)
+		return err
+	})
+	if !errors.Is(err, hostdb.ErrReplicaReadOnly) {
+		t.Fatalf("replica write: %v", err)
+	}
+	if err := app.CheckTimestamp(app.Watermark()); err != nil {
+		t.Fatalf("read at watermark rejected: %v", err)
+	}
+	var se *bolt.ServerError
+	if err := app.CheckTimestamp(app.Watermark() + 1); !errors.As(err, &se) || se.Code != bolt.FailReplicaLag {
+		t.Fatalf("read above watermark: %v", err)
+	}
+	if se != nil && !se.Retryable() {
+		t.Fatal("FailReplicaLag must be retryable")
+	}
+
+	// An idle pump round ships nothing and changes nothing.
+	if err := pump(src, app, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if wm := app.Watermark(); wm != p.Host.Clock() {
+		t.Fatalf("idle pump moved watermark to %d", wm)
+	}
+}
+
+func TestApplierOffsetMismatchFailStop(t *testing.T) {
+	pfs, ffs := vfs.NewFaultFS(), vfs.NewFaultFS()
+	p := openNode(t, pfs, "primary", false)
+	defer p.Close()
+	f := openNode(t, ffs, "follower", true)
+	defer f.Close()
+	drive(t, p, 3)
+	src := NewSource(p.Host)
+	app := NewApplier(f)
+
+	so, to := app.Offsets()
+	sh, err := src.Shipment(so, to, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.TxnOff += 8 // claim the frames land past the follower's extent
+	if err := app.Apply(sh); err == nil {
+		t.Fatal("offset mismatch accepted")
+	}
+	// Sticky: even a correct shipment is now refused, and reads fail with
+	// the divergence code.
+	good, err := src.Shipment(so, to, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Apply(good); err == nil {
+		t.Fatal("poisoned applier accepted a shipment")
+	}
+	var se *bolt.ServerError
+	if err := app.CheckTimestamp(0); !errors.As(err, &se) || se.Code != bolt.FailDiverged {
+		t.Fatalf("poisoned applier read: %v", err)
+	}
+}
+
+func TestSourceRejectsFollowerAhead(t *testing.T) {
+	pfs := vfs.NewFaultFS()
+	p := openNode(t, pfs, "primary", false)
+	defer p.Close()
+	drive(t, p, 2)
+	src := NewSource(p.Host)
+	_, txn := p.Host.DurableExtents()
+	if _, err := src.Shipment(0, txn+8, 1<<20); err == nil {
+		t.Fatal("follower-ahead offsets accepted")
+	}
+}
+
+func mustParse(t *testing.T, q string) *cypher.Statement {
+	t.Helper()
+	st, err := cypher.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return st
+}
+
+func gateCode(t *testing.T, err error) byte {
+	t.Helper()
+	if err == nil {
+		return 0xFF
+	}
+	var se *bolt.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("gate returned untyped error: %v", err)
+	}
+	return se.Code
+}
+
+func TestGate(t *testing.T) {
+	pfs, ffs := vfs.NewFaultFS(), vfs.NewFaultFS()
+	p := openNode(t, pfs, "primary", false)
+	defer p.Close()
+	f := openNode(t, ffs, "follower", true)
+	defer f.Close()
+	drive(t, p, 5) // watermark will be 5
+	src := NewSource(p.Host)
+	app := NewApplier(f)
+	if err := pump(src, app, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	wm := app.Watermark()
+	if wm != 5 {
+		t.Fatalf("watermark %d, want 5", wm)
+	}
+	app.Note(Heartbeat{LatestTS: wm}) // fresh contact, zero lag
+
+	const ok = byte(0xFF)
+	cases := []struct {
+		q      string
+		params map[string]model.Value
+		want   byte
+	}{
+		{"CREATE (n:P)", nil, bolt.FailReadOnly},
+		{"MATCH (n:P) SET n.x = 1 RETURN n", nil, bolt.FailReadOnly},
+		{"MATCH (n:P) RETURN n", nil, ok},
+		{fmt.Sprintf("USE aion FOR SYSTEM_TIME AS OF %d MATCH (n:P) RETURN n", wm), nil, ok},
+		{fmt.Sprintf("USE aion FOR SYSTEM_TIME AS OF %d MATCH (n:P) RETURN n", wm+1), nil, bolt.FailReplicaLag},
+		{fmt.Sprintf("USE aion FOR SYSTEM_TIME BETWEEN 1 AND %d MATCH (n:P) RETURN n", wm+1), nil, ok}, // [1, wm+1) needs wm
+		{fmt.Sprintf("USE aion FOR SYSTEM_TIME BETWEEN 1 AND %d MATCH (n:P) RETURN n", wm+2), nil, bolt.FailReplicaLag},
+		{"USE aion FOR SYSTEM_TIME AS OF $t MATCH (n:P) RETURN n",
+			map[string]model.Value{"t": model.IntValue(int64(wm))}, ok},
+		{"USE aion FOR SYSTEM_TIME AS OF $t MATCH (n:P) RETURN n",
+			map[string]model.Value{"t": model.IntValue(int64(wm) + 1)}, bolt.FailReplicaLag},
+		// Unevaluable timestamp (missing parameter): conservatively lag.
+		{"USE aion FOR SYSTEM_TIME AS OF $missing MATCH (n:P) RETURN n", nil, bolt.FailReplicaLag},
+		{fmt.Sprintf("CALL aion.graph(%d)", wm), nil, ok},
+		{fmt.Sprintf("CALL aion.graph(%d)", wm+1), nil, bolt.FailReplicaLag},
+		{fmt.Sprintf("CALL aion.diff(1, %d)", wm), nil, ok},
+		{fmt.Sprintf("CALL aion.diff(1, %d)", wm+1), nil, bolt.FailReplicaLag},
+		{"CALL aion.stats()", nil, ok},
+	}
+	for _, tc := range cases {
+		if got := gateCode(t, app.Gate(mustParse(t, tc.q), tc.params)); got != tc.want {
+			t.Errorf("gate(%q) = 0x%x, want 0x%x", tc.q, got, tc.want)
+		}
+	}
+
+	// Staleness bound: a big advertised primary clock rejects latest reads
+	// but leaves at-watermark history servable.
+	app.StalenessBound = 3
+	app.Note(Heartbeat{LatestTS: wm + 10})
+	if got := gateCode(t, app.Gate(mustParse(t, "MATCH (n:P) RETURN n"), nil)); got != bolt.FailReplicaLag {
+		t.Errorf("stale latest read = 0x%x, want FailReplicaLag", got)
+	}
+	asOf := fmt.Sprintf("USE aion FOR SYSTEM_TIME AS OF %d MATCH (n:P) RETURN n", wm)
+	if got := gateCode(t, app.Gate(mustParse(t, asOf), nil)); got != ok {
+		t.Errorf("stale AS OF read = 0x%x, want ok", got)
+	}
+	app.StalenessBound = 0
+
+	// Disconnect grace: silence past the bound rejects latest reads.
+	app.DisconnectGrace = time.Minute
+	base := time.Unix(1000, 0)
+	app.now = func() time.Time { return base }
+	app.Note(Heartbeat{LatestTS: wm})
+	if got := gateCode(t, app.Gate(mustParse(t, "MATCH (n:P) RETURN n"), nil)); got != ok {
+		t.Errorf("fresh latest read = 0x%x, want ok", got)
+	}
+	app.now = func() time.Time { return base.Add(2 * time.Minute) }
+	if got := gateCode(t, app.Gate(mustParse(t, "MATCH (n:P) RETURN n"), nil)); got != bolt.FailReplicaLag {
+		t.Errorf("silent latest read = 0x%x, want FailReplicaLag", got)
+	}
+	if got := gateCode(t, app.Gate(mustParse(t, asOf), nil)); got != ok {
+		t.Errorf("silent AS OF read = 0x%x, want ok", got)
+	}
+}

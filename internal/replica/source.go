@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"aion/internal/bolt"
+	"aion/internal/hostdb"
+)
+
+// maxShipmentBytes caps one shipment's payload well under Bolt's 16 MiB
+// frame limit; a catch-up after long downtime streams as many shipments as
+// it takes.
+const maxShipmentBytes = 1 << 20
+
+// Source is the primary-side log-shipping service: it builds shipments
+// from the host database's durable bytes and streams them to followers
+// over connections handed off by the Bolt server's ReplicationHandler.
+// Shipment building is read-only and lock-light, so N followers tail the
+// same primary independently.
+type Source struct {
+	db *hostdb.DB
+
+	// PollInterval is how often an idle stream re-checks for new durable
+	// bytes; HeartbeatInterval is how often it sends a keepalive carrying
+	// the primary's extents and clock. Zero values take the defaults.
+	PollInterval      time.Duration
+	HeartbeatInterval time.Duration
+
+	framesShipped atomic.Uint64
+	bytesShipped  atomic.Uint64
+	heartbeats    atomic.Uint64
+}
+
+// NewSource creates a shipping source over a primary host database.
+func NewSource(db *hostdb.DB) *Source {
+	return &Source{db: db}
+}
+
+// ReplicationStats implements bolt.Replicator.
+func (s *Source) ReplicationStats() bolt.ReplicationMetrics {
+	return bolt.ReplicationMetrics{
+		FramesShipped: s.framesShipped.Load(),
+		BytesShipped:  s.bytesShipped.Load(),
+		Heartbeats:    s.heartbeats.Load(),
+		Watermark:     int64(s.db.Clock()),
+	}
+}
+
+// Shipment builds the next batch for a follower whose files end at strOff
+// and txnOff, shipping only fsync-covered bytes. The transaction-log
+// extent is captured before the strings extent (DurableExtents), and
+// frames are withheld until the strings chunk has fully caught up to that
+// extent — together this guarantees every positional ref in a shipped
+// record resolves inside the follower's string table.
+//
+// An offset beyond the primary's durable extent means the follower holds
+// bytes this primary never made durable: divergence, returned as an error
+// the stream must fail-stop on.
+func (s *Source) Shipment(strOff, txnOff int64, maxBytes int) (*Shipment, error) {
+	strDurable, txnDurable := s.db.DurableExtents()
+	if strOff > strDurable || txnOff > txnDurable {
+		return nil, fmt.Errorf("replica: follower ahead of primary (strings %d>%d or txn %d>%d): diverged",
+			strOff, strDurable, txnOff, txnDurable)
+	}
+	if maxBytes <= 0 {
+		maxBytes = maxShipmentBytes
+	}
+	sh := &Shipment{
+		StrOff: strOff, TxnOff: txnOff, NextTxn: txnOff,
+		StrDurable: strDurable, TxnDurable: txnDurable,
+		LatestTS: s.db.Clock(),
+	}
+	chunk, err := s.db.ReadStringsRaw(strOff, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	sh.Strings = chunk
+	if strOff+int64(len(chunk)) < strDurable {
+		// Strings still catching up; ship them alone so no frame can ever
+		// reference a string the follower does not yet hold.
+		return sh, nil
+	}
+	frames, next, err := s.db.TxnFrames(txnOff, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	sh.Frames, sh.NextTxn = frames, next
+	return sh, nil
+}
+
+// ServeConn runs one follower's shipping stream; it is shaped to be
+// installed as bolt.Options.ReplicationHandler. The request frame carries
+// the follower's resume offsets; the loop then pushes shipments as durable
+// bytes appear and heartbeats when they don't, until the connection drops
+// (server close, follower crash, network failure) — the follower
+// reconnects with fresh offsets and the stream resumes.
+func (s *Source) ServeConn(conn net.Conn, r *bufio.Reader, w *bufio.Writer, req []byte) {
+	if len(req) == 0 || req[0] != bolt.MsgReplicate {
+		return
+	}
+	strOff, txnOff, err := DecodeRequest(req[1:])
+	if err != nil {
+		return
+	}
+	poll := s.PollInterval
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	hbEvery := s.HeartbeatInterval
+	if hbEvery <= 0 {
+		hbEvery = 100 * time.Millisecond
+	}
+	send := func(payload []byte) error {
+		if err := bolt.WriteFrame(w, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	lastSend := time.Now()
+	for {
+		sh, err := s.Shipment(strOff, txnOff, maxShipmentBytes)
+		if err != nil {
+			// Divergent follower or unreadable primary file: tell the
+			// follower to fail-stop, then drop the stream.
+			msg := err.Error()
+			payload := []byte{bolt.MsgFailure, bolt.FailDiverged}
+			payload = binary.AppendUvarint(payload, uint64(len(msg)))
+			_ = send(append(payload, msg...))
+			return
+		}
+		if sh.Empty() {
+			if time.Since(lastSend) >= hbEvery {
+				s.heartbeats.Add(1)
+				if send(EncodeHeartbeat(Heartbeat{
+					StrDurable: sh.StrDurable, TxnDurable: sh.TxnDurable, LatestTS: sh.LatestTS,
+				})) != nil {
+					return
+				}
+				lastSend = time.Now()
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if send(EncodeShipment(sh)) != nil {
+			return
+		}
+		lastSend = time.Now()
+		s.framesShipped.Add(uint64(len(sh.Frames)))
+		n := len(sh.Strings)
+		for _, f := range sh.Frames {
+			n += len(f)
+		}
+		s.bytesShipped.Add(uint64(n))
+		strOff += int64(len(sh.Strings))
+		txnOff = sh.NextTxn
+	}
+}

@@ -36,6 +36,8 @@ type Store struct {
 	ids      sync.Map     // string -> Ref; written once per string
 	w        *bufio.Writer
 	f        vfs.File
+	size     int64 // logical file size including buffered appends
+	synced   int64 // extent covered by the last successful Sync
 	dirty    bool  // unsynced appends outstanding
 	repaired int64 // torn-tail bytes truncated by Open
 	failed   error // sticky: first append/sync error; later writes fail-stop
@@ -98,6 +100,8 @@ func OpenFS(fs vfs.FS, path string) (*Store, error) {
 	}
 	s.byID.Store(byID)
 	s.w = bufio.NewWriter(&vfs.SeqWriter{F: f, Off: off})
+	// Whatever survived open is the durable baseline.
+	s.size, s.synced = off, off
 	return s, nil
 }
 
@@ -145,6 +149,7 @@ func (st *Store) Intern(s string) (Ref, error) {
 			st.failed = err
 			return 0, fmt.Errorf("strstore: append: %w", err)
 		}
+		st.size += 4 + int64(len(s))
 		st.dirty = true
 	}
 	// Appends are serialized under mu and concurrent readers never index
@@ -225,7 +230,125 @@ func (st *Store) Sync() error {
 		st.failed = err
 		return fmt.Errorf("strstore: sync: %w", err)
 	}
+	st.synced = st.size
 	st.dirty = false
+	return nil
+}
+
+// SyncedSize returns the byte extent of the backing file covered by the
+// last successful Sync — the record-aligned prefix guaranteed to survive a
+// crash. Replication ships only bytes below this mark.
+func (st *Store) SyncedSize() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.synced
+}
+
+// ReadRaw returns up to max bytes of whole records starting at byte offset
+// off in the backing file. The returned chunk always ends on a record
+// boundary; a single record larger than max is returned whole so a reader
+// always makes progress. Only the synced region may be read — the bytes a
+// replica ships must already be durable on the primary.
+func (st *Store) ReadRaw(off int64, max int) ([]byte, error) {
+	st.mu.Lock()
+	synced := st.synced
+	f := st.f
+	st.mu.Unlock()
+	if f == nil {
+		return nil, errors.New("strstore: in-memory store has no raw bytes")
+	}
+	if off < 0 || off > synced {
+		return nil, fmt.Errorf("strstore: raw offset %d out of durable range (synced %d)", off, synced)
+	}
+	if off == synced {
+		return nil, nil
+	}
+	if max < 4 {
+		max = 4
+	}
+	n := int64(max)
+	if n > synced-off {
+		n = synced - off
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("strstore: raw read at %d: %w", off, err)
+	}
+	// Trim to the last whole record in the chunk. The synced region is
+	// record-aligned, so a cut can only fall mid-record when max did.
+	pos := int64(0)
+	for pos+4 <= n {
+		rl := int64(binary.LittleEndian.Uint32(buf[pos:]))
+		if pos+4+rl > n {
+			break
+		}
+		pos += 4 + rl
+	}
+	if pos == 0 {
+		// First record alone exceeds max: grow to return it whole.
+		rl := int64(binary.LittleEndian.Uint32(buf))
+		if off+4+rl > synced {
+			return nil, fmt.Errorf("strstore: record at %d runs past durable extent %d", off, synced)
+		}
+		whole := make([]byte, 4+rl)
+		if _, err := f.ReadAt(whole, off); err != nil {
+			return nil, fmt.Errorf("strstore: raw read at %d: %w", off, err)
+		}
+		return whole, nil
+	}
+	return buf[:pos], nil
+}
+
+// AppendRaw ingests a chunk of whole records shipped from another store
+// (replication): the bytes are appended verbatim to the backing file and
+// each record's string is added to the in-memory table, preserving the
+// positional references the shipped log records carry. The chunk must be
+// exactly record-aligned; a misaligned chunk is rejected without touching
+// the store. Durability follows the store's usual contract: call Sync
+// before relying on the appended records.
+func (st *Store) AppendRaw(chunk []byte) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	var recs []string
+	for pos := 0; pos < len(chunk); {
+		if pos+4 > len(chunk) {
+			return fmt.Errorf("strstore: raw chunk cut mid-header at %d", pos)
+		}
+		rl := int(binary.LittleEndian.Uint32(chunk[pos:]))
+		if pos+4+rl > len(chunk) {
+			return fmt.Errorf("strstore: raw chunk cut mid-record at %d", pos)
+		}
+		recs = append(recs, string(chunk[pos+4:pos+4+rl]))
+		pos += 4 + rl
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed != nil {
+		return fmt.Errorf("strstore: store failed: %w", st.failed)
+	}
+	cur := st.table()
+	if len(cur)+len(recs) > MaxRef {
+		return fmt.Errorf("strstore: table full (%d strings)", len(cur))
+	}
+	for _, s := range recs {
+		if _, dup := st.ids.Load(s); dup {
+			return fmt.Errorf("strstore: raw chunk re-interns %q; stream diverged", s)
+		}
+	}
+	if st.w != nil {
+		if _, err := st.w.Write(chunk); err != nil {
+			st.failed = err
+			return fmt.Errorf("strstore: raw append: %w", err)
+		}
+		st.size += int64(len(chunk))
+		st.dirty = true
+	}
+	for _, s := range recs {
+		st.ids.Store(s, Ref(len(cur)))
+		cur = append(cur, s)
+	}
+	st.byID.Store(cur)
 	return nil
 }
 
@@ -241,6 +364,8 @@ func (st *Store) Close() error {
 		//aionlint:ignore lockio final fsync of a store being torn down; interning is over once Close holds the write lock
 		if err := st.f.Sync(); err != nil {
 			ferr = fmt.Errorf("strstore: sync: %w", err)
+		} else {
+			st.synced = st.size
 		}
 	}
 	cerr := st.f.Close()

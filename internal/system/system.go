@@ -28,6 +28,11 @@ type Options struct {
 	DisableTemporal bool
 	// SyncCommits forwards to hostdb: fsync the txn log per commit.
 	SyncCommits bool
+	// Replica opens the host as a replication follower: local commits are
+	// rejected and changes arrive through hostdb.ApplyShipment (fed by
+	// internal/replica), which still fires the commit listener so Aion
+	// ingests replicated transactions exactly like local ones.
+	Replica bool
 	// FS is the filesystem both components store on; nil means the real
 	// OS filesystem (used by the crash-recovery tests to inject faults).
 	FS vfs.FS
@@ -43,7 +48,7 @@ type System struct {
 // listener.
 func Open(opts Options) (*System, error) {
 	host, err := hostdb.Open(hostdb.Options{Dir: opts.Dir, InMemory: opts.InMemoryHost,
-		SyncCommits: opts.SyncCommits, FS: opts.FS})
+		SyncCommits: opts.SyncCommits, Replica: opts.Replica, FS: opts.FS})
 	if err != nil {
 		return nil, err
 	}

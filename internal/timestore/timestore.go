@@ -469,6 +469,14 @@ func (s *Store) AppendBatch(us []model.Update) error {
 		return err
 	}
 	s.encBuf = buf[:0]
+	// Encoding may have interned new strings into the table's user-space
+	// buffer; push them to the OS before the log bytes that reference them,
+	// so a process crash (which keeps completed writes but drops buffers)
+	// cannot leave log records with dangling refs. Power-loss ordering is
+	// separately enforced by Flush/Close syncing strings before the log.
+	if err := s.codec.Strings.Flush(); err != nil {
+		return err
+	}
 	offs, err := s.log.AppendBatch(payloads)
 	if err != nil {
 		return err
@@ -502,6 +510,10 @@ func (s *Store) appendLocked(u model.Update) error {
 		return err
 	}
 	s.encBuf = payload[:0]
+	// Same strings-before-log flush ordering as AppendBatch: see there.
+	if err := s.codec.Strings.Flush(); err != nil {
+		return err
+	}
 	off, err := s.log.Append(payload)
 	if err != nil {
 		return err

@@ -32,6 +32,7 @@ type Log struct {
 	mu       sync.RWMutex
 	f        vfs.File
 	size     int64 // next append offset
+	synced   int64 // extent covered by the last successful Sync
 	path     string
 	writeBuf []byte // reused append scratch, guarded by mu
 	repaired int64  // torn-tail bytes truncated by Open
@@ -62,6 +63,9 @@ func OpenFS(fs vfs.FS, path string) (*Log, error) {
 	if err := l.repairTail(); err != nil {
 		return nil, errors.Join(err, f.Close())
 	}
+	// The bytes that survived open (post tail-repair) are the durable
+	// baseline: everything a crash could not take away is already on disk.
+	l.synced = l.size
 	return l, nil
 }
 
@@ -349,8 +353,19 @@ func (l *Log) Sync() error {
 		l.failed = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.synced = l.size
 	l.syncs.Add(1)
 	return nil
+}
+
+// SyncedSize returns the log extent covered by the last successful Sync:
+// the prefix guaranteed to survive a crash. Replication ships only bytes
+// below this watermark, so a follower can never hold a record its primary
+// might lose.
+func (l *Log) SyncedSize() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.synced
 }
 
 // Syncs reports how many successful Sync calls the log has issued — the
@@ -371,6 +386,7 @@ func (l *Log) Close() error {
 	if err := l.f.Sync(); err != nil {
 		return errors.Join(err, l.f.Close())
 	}
+	l.synced = l.size
 	err := l.f.Close()
 	l.f = nil
 	return err
