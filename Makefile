@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress replica-smoke
+.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress replica-smoke seal-sweep
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,20 @@ stress:
 replica-smoke:
 	$(GO) test -race -count=1 -run 'TestReplicationOverTCP|TestRouterFallback|TestFollowerReconnectBackoff' -v ./internal/replica/
 
-# A short run of the record-decoder fuzzer (recovery feeds it torn log
-# tails): long enough to exercise the mutator, short enough for CI.
+# A short run of the record-decoder fuzzers (recovery feeds the update
+# decoder torn log tails; chain recovery feeds the delta-header decoder
+# arbitrary .dsnap prefixes): long enough to exercise the mutators, short
+# enough for CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeUpdates -fuzztime 30s ./internal/enc/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeDelta -fuzztime 15s ./internal/enc/
+
+# The partitioned-history gate: the seal crash sweeps and the cross-store
+# equivalence harness (partitioned vs monolithic, byte-identical results)
+# under the race detector, then the history-depth benchmark with its
+# machine-readable artifact, compared (informationally) against the
+# checked-in baseline.
+seal-sweep:
+	$(GO) test -race -count=1 -run 'TestCrashSweepSeal|TestRecoveryDropsOrphanDeltas' ./internal/timestore/
+	$(GO) test -race -count=1 ./internal/tstest/
+	$(GO) run ./cmd/aion-bench -exp history -scale 500 -globalops 12 -json BENCH_seal.json -baseline BENCH_baseline.json

@@ -40,6 +40,7 @@ func main() {
 		writeOps = flag.Int("writeops", 200, "commits per committer in the write-path suite")
 		writeCs  = flag.String("committers", "", "comma-separated committer counts for the write suite (default 1,4,16,64)")
 		syncOnly = flag.Bool("synconly", false, "write suite: measure only synchronous (durable) commits")
+		baseline = flag.String("baseline", "", "BENCH_*.json file to compare this run's records against (informational)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,7 @@ func main() {
 	run("fig13", func() error { _, err := bench.RunFig13(cfg, mkdir, 8, 100); return err })
 	run("fig14", func() error { _, err := bench.RunFig14(cfg, mkdir, []int{10}); return err })
 	run("ext", func() error { _, err := bench.RunExtensionIncremental(cfg, []int{10, 100}); return err })
+	run("history", func() error { _, err := bench.RunHistory(cfg, mkdir); return err })
 	run("write", func() error {
 		wc := bench.WriteConfig{OpsPerCommitter: *writeOps}
 		if *writeCs != "" {
@@ -129,6 +131,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\nwrote %d result(s) to %s\n", len(report.Records()), *jsonPath)
+	}
+	if *baseline != "" {
+		if err := report.CompareBaseline(nil, *baseline, os.Stdout); err != nil {
+			// Informational only: a missing or stale baseline must not fail
+			// the bench run that would regenerate it.
+			fmt.Fprintln(os.Stderr, "aion-bench: baseline comparison skipped:", err)
+		}
 	}
 }
 

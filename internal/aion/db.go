@@ -75,6 +75,13 @@ type Options struct {
 	// SnapshotEveryBytes is TimeStore's log-bytes snapshot policy (the
 	// default when no policy is set; see timestore.Options).
 	SnapshotEveryBytes int64
+	// PartitionEvery seals the TimeStore's active partition after this
+	// many updates (<= 0 disables partitioning: one monolithic log).
+	PartitionEvery int
+	// DeltaChainLength bounds the differential-snapshot run between full
+	// materializations in each sealed partition's chain (0: timestore
+	// default; < 0: full snapshots only).
+	DeltaChainLength int
 	// GraphStoreBytes is the snapshot cache budget.
 	GraphStoreBytes int64
 	// AsyncQueueDepth bounds the background cascade queue (batches).
@@ -142,6 +149,8 @@ func Open(opts Options) (*DB, error) {
 			Dir:                filepath.Join(opts.Dir, "timestore"),
 			SnapshotEveryOps:   opts.SnapshotEveryOps,
 			SnapshotEveryBytes: opts.SnapshotEveryBytes,
+			PartitionEvery:     opts.PartitionEvery,
+			DeltaChainLength:   opts.DeltaChainLength,
 			GraphStoreBytes:    opts.GraphStoreBytes,
 			ParallelIO:         opts.ParallelIO,
 			FS:                 opts.FS,

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -90,6 +91,55 @@ func (r *Report) WriteFile(fs vfs.FS, path string) (err error) {
 
 // record adds rec to the config's report, if one is attached.
 func (c *Config) record(rec Record) { c.Report.Add(rec) }
+
+// CompareBaseline prints a ratio comparison of this report against a
+// previously written BENCH_*.json file, matching records by name. It is
+// informational, not a gate: regressions print, nothing fails — the CI
+// runner decides what to do with the output.
+func (r *Report) CompareBaseline(fs vfs.FS, path string, w io.Writer) error {
+	fs = vfs.OrOS(fs)
+	f, err := fs.Open(path)
+	if err != nil {
+		return fmt.Errorf("bench: open baseline: %w", err)
+	}
+	defer vfs.CloseChecked(f, &err)
+	size, err := fs.Stat(path)
+	if err != nil {
+		return fmt.Errorf("bench: stat baseline: %w", err)
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return fmt.Errorf("bench: read baseline: %w", err)
+	}
+	var base reportFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parse baseline: %w", err)
+	}
+	byName := make(map[string]Record, len(base.Results))
+	for _, rec := range base.Results {
+		byName[rec.Name] = rec
+	}
+	fmt.Fprintf(w, "\n== vs baseline %s (%s) ==\n", path, base.GeneratedAt)
+	matched := 0
+	for _, rec := range r.Records() {
+		b, ok := byName[rec.Name]
+		if !ok || b.OpsPerSec <= 0 || rec.OpsPerSec <= 0 {
+			continue
+		}
+		matched++
+		ratio := rec.OpsPerSec / b.OpsPerSec
+		marker := ""
+		if ratio < 0.8 {
+			marker = "  <-- slower"
+		}
+		fmt.Fprintf(w, "%-45s %8.2fx ops/sec (p50 %6.1fus vs %6.1fus)%s\n",
+			rec.Name, ratio, rec.P50Micros, b.P50Micros, marker)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "(no overlapping records)")
+	}
+	return nil
+}
 
 // percentileMicros returns the p-th percentile (0 < p <= 1) of the given
 // latencies in microseconds. Sorts its argument in place.

@@ -1,0 +1,486 @@
+// Delta-chain compaction and materialization for sealed partitions
+// (DeltaGraph-style hierarchical delta snapshots, PAPERS.md arXiv:1207.5777).
+// A sealed partition's log is replayed once and cut into segments at
+// timestamp boundaries; each cut emits a chain element — every
+// DeltaChainLength-th a full materialization, otherwise a *differential*
+// snapshot holding the segment's updates compacted to their net effect.
+// GetGraph(ts) inside the partition then loads the nearest full and applies
+// at most DeltaChainLength deltas plus a bounded log tail, instead of
+// replaying from a distant snapshot.
+package timestore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"aion/internal/enc"
+	"aion/internal/memgraph"
+	"aion/internal/model"
+	"aion/internal/vfs"
+)
+
+// compactPartition replays p's log once on top of the partition's entry
+// state (which it takes ownership of and mutates into the end state,
+// returned), writing the full/delta chain as it goes and installing it
+// under sealMu when complete. The log and marker are cross-checked: the
+// replay must end exactly at the marker's end position.
+func (s *Store) compactPartition(ctx context.Context, p *sealedPart, entry *memgraph.Graph) (*memgraph.Graph, error) {
+	segs := 2 * (s.opts.DeltaChainLength + 1)
+	if s.opts.DeltaChainLength < 0 {
+		segs = 2 // fulls only
+	}
+	segTarget := int(p.count) / segs
+	if segTarget < 1 {
+		segTarget = 1
+	}
+	var elems []chainElem
+	entryPos := position{ts: p.entryTS, seq: p.entrySeq}
+	g := entry
+	// chain[0] is the entry full: the state *before* the partition's first
+	// update. It shares its position with the previous partition's end, so
+	// a materialization never needs to cross partitions.
+	if err := s.appendChainElem(p, &elems, enc.DeltaFull, entryPos, position{}, 0, g.Export()); err != nil {
+		return nil, err
+	}
+	prev := entryPos
+	cur := entryPos
+	deltas := 0
+	var seg []model.Update
+	cut := func(pos position, off int64) error {
+		if s.opts.DeltaChainLength < 0 || deltas >= s.opts.DeltaChainLength {
+			if err := s.appendChainElem(p, &elems, enc.DeltaFull, pos, position{}, off, g.Export()); err != nil {
+				return err
+			}
+			deltas = 0
+		} else {
+			if err := s.appendChainElem(p, &elems, enc.DeltaDiff, pos, prev, off, compactUpdates(seg)); err != nil {
+				return err
+			}
+			deltas++
+		}
+		prev = pos
+		seg = seg[:0]
+		return nil
+	}
+	var derr error
+	err := s.replayWalSeq(ctx, p.log, 0, func(off int64, u model.Update) bool {
+		// Cut only at timestamp boundaries: every element is complete at
+		// its timestamp, so ts-only floor searches are exact.
+		if len(seg) >= segTarget && u.TS > cur.ts {
+			if derr = cut(cur, off); derr != nil {
+				return false
+			}
+		}
+		if aerr := g.Apply(u); aerr != nil {
+			derr = aerr
+			return false
+		}
+		if u.TS == cur.ts {
+			cur.seq++
+		} else {
+			cur = position{ts: u.TS, seq: 0}
+		}
+		seg = append(seg, u)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, err
+	}
+	endPos := position{ts: p.maxTS, seq: p.endSeq}
+	if cur != endPos {
+		return nil, fmt.Errorf("timestore: partition %s log ends at (%d,%d), marker says (%d,%d)",
+			p.dir, cur.ts, cur.seq, endPos.ts, endPos.seq)
+	}
+	if prev != endPos {
+		if err := cut(endPos, p.log.Size()); err != nil {
+			return nil, err
+		}
+	}
+	g.SetTimestamp(p.maxTS)
+	s.sealMu.Lock()
+	p.chain = elems
+	s.sealMu.Unlock()
+	return g, nil
+}
+
+// appendChainElem writes one chain file atomically and records its element.
+func (s *Store) appendChainElem(p *sealedPart, elems *[]chainElem, kind enc.DeltaKind, pos, base position, logOff int64, us []model.Update) error {
+	hdr := enc.DeltaHeader{
+		Kind: kind, TS: pos.ts, Seq: pos.seq,
+		BaseTS: base.ts, BaseSeq: base.seq,
+		LogOff: logOff, Count: uint64(len(us)),
+	}
+	path, n, err := s.writeChainFile(p.dir, hdr, us)
+	if err != nil {
+		return err
+	}
+	s.chainBytes.Add(n)
+	if kind == enc.DeltaDiff {
+		s.deltaSnaps.Add(1)
+	}
+	*elems = append(*elems, chainElem{
+		kind: kind, pos: pos, base: base,
+		logOff: logOff, count: uint64(len(us)), path: path,
+	})
+	return nil
+}
+
+// writeChainFile persists one chain element with the snapshot files'
+// atomic-replace protocol and len+CRC framing: frame 0 is the delta header,
+// frames 1..Count are update records.
+func (s *Store) writeChainFile(dir string, hdr enc.DeltaHeader, us []model.Update) (string, int64, error) {
+	path := filepath.Join(dir, chainFileName(hdr.Kind, position{ts: hdr.TS, seq: hdr.Seq}))
+	tmp := path + ".tmp"
+	n, err := s.writeChainFileBody(tmp, hdr, us)
+	if err != nil {
+		_ = s.fs.Remove(tmp)
+		return "", 0, err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
+		return "", 0, err
+	}
+	if err := s.fs.SyncDir(dir); err != nil {
+		return "", 0, err
+	}
+	return path, n, nil
+}
+
+func (s *Store) writeChainFileBody(path string, hdr enc.DeltaHeader, us []model.Update) (int64, error) {
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(&vfs.SeqWriter{F: f}, 1<<16)
+	var written int64
+	var fh [8]byte
+	frame := func(payload []byte) error {
+		binary.LittleEndian.PutUint32(fh[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(fh[4:], crc32.ChecksumIEEE(payload))
+		if _, werr := w.Write(fh[:]); werr != nil {
+			return werr
+		}
+		_, werr := w.Write(payload)
+		written += int64(8 + len(payload))
+		return werr
+	}
+	if err := frame(enc.AppendDeltaHeader(nil, hdr)); err != nil {
+		return written, errors.Join(err, f.Close())
+	}
+	buf := make([]byte, 0, 256)
+	for _, u := range us {
+		buf, err = s.codec.AppendUpdate(buf[:0], u)
+		if err != nil {
+			return written, errors.Join(err, f.Close())
+		}
+		if err := frame(buf); err != nil {
+			return written, errors.Join(err, f.Close())
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return written, errors.Join(err, f.Close())
+	}
+	// Chain records hold string refs: the table must be durable first.
+	if err := s.codec.Strings.Sync(); err != nil {
+		return written, errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return written, errors.Join(err, f.Close())
+	}
+	return written, f.Close()
+}
+
+// readChainHeader reads and validates only frame 0 of a chain file (cheap:
+// recovery derivation opens every chain file this way).
+func readChainHeader(fs vfs.FS, path string) (hdr enc.DeltaHeader, err error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return hdr, err
+	}
+	defer vfs.CloseChecked(f, &err)
+	sr, err := vfs.NewReader(f)
+	if err != nil {
+		return hdr, err
+	}
+	payload, err := readFrame(bufio.NewReaderSize(sr, 512))
+	if err != nil {
+		return hdr, err
+	}
+	return enc.DecodeDeltaHeader(payload)
+}
+
+// readFrame reads one len+CRC frame, verifying the checksum.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var fh [8]byte
+	if _, err := io.ReadFull(r, fh[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(fh[:4])
+	sum := binary.LittleEndian.Uint32(fh[4:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("timestore: chain frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// applyChainFile streams elem's update records into g. countReplay marks
+// delta applications (materialization work the chain could not avoid) for
+// the ReplayedUpdates stat; full loads are snapshot loads, not replay.
+func (s *Store) applyChainFile(ctx context.Context, elem chainElem, g *memgraph.Graph, countReplay bool) (err error) {
+	f, err := s.fs.Open(elem.path)
+	if err != nil {
+		return err
+	}
+	defer vfs.CloseChecked(f, &err)
+	sr, err := vfs.NewReader(f)
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(sr, 1<<16)
+	payload, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	hdr, err := enc.DecodeDeltaHeader(payload)
+	if err != nil {
+		return err
+	}
+	if hdr.Kind != elem.kind || hdr.TS != elem.pos.ts || hdr.Seq != elem.pos.seq || hdr.Count != elem.count {
+		return fmt.Errorf("timestore: chain file %s header changed since derivation", elem.path)
+	}
+	for i := uint64(0); i < hdr.Count; i++ {
+		if i%frameBatchRecords == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		payload, err := readFrame(r)
+		if err != nil {
+			return fmt.Errorf("timestore: chain file %s record %d: %w", elem.path, i, err)
+		}
+		u, err := s.codec.DecodeUpdate(payload)
+		if err != nil {
+			return err
+		}
+		if err := g.Apply(u); err != nil {
+			return fmt.Errorf("timestore: chain apply %s: %w", elem.path, err)
+		}
+		if countReplay {
+			s.replayed.Add(1)
+		}
+	}
+	return nil
+}
+
+// materializeElem returns a private graph at chain element j of p: the
+// cached graph at that timestamp if present, else the nearest preceding
+// full plus its deltas, cached in the GraphStore for the next reader.
+// Caller holds sealMu (either mode); every cut position is complete at its
+// timestamp, so the cache key carries no sequence ambiguity.
+func (s *Store) materializeElem(ctx context.Context, p *sealedPart, j int) (*memgraph.Graph, error) {
+	elem := p.chain[j]
+	if g, ok := s.gs.Get(elem.pos.ts); ok {
+		return g, nil
+	}
+	j0 := j
+	//aionlint:ignore ctxloop backward walk is bounded by DeltaChainLength steps and does no I/O
+	for p.chain[j0].kind != enc.DeltaFull {
+		j0--
+	}
+	g := memgraph.New()
+	if err := s.applyChainFile(ctx, p.chain[j0], g, false); err != nil {
+		return nil, err
+	}
+	for k := j0 + 1; k <= j; k++ {
+		if err := s.applyChainFile(ctx, p.chain[k], g, true); err != nil {
+			return nil, err
+		}
+	}
+	g.SetTimestamp(elem.pos.ts)
+	s.gs.Put(g)
+	return g, nil
+}
+
+// --- segment compaction ------------------------------------------------------
+
+// entAcc folds one entity's updates within a segment to their net effect.
+// At most one of each pointer survives: del (a pre-existing entity deleted
+// in the segment), add (an entity created — or deleted-and-recreated — in
+// the segment, with later updates merged in), upd (a pre-existing entity
+// modified). del+add together encode delete-then-recreate.
+type entAcc struct {
+	del *model.Update
+	add *model.Update
+	upd *model.Update
+}
+
+// compactUpdates reduces a segment's update stream to its net effect: the
+// minimal-ish update list that transforms the segment's entry graph into
+// its end graph through memgraph.Apply. Emission is phased — rel deletes,
+// node deletes, node adds/updates, rel adds/updates, each sorted by entity
+// ID — which satisfies Apply's referential constraints (a node is deleted
+// only after its rels, a rel added only after its endpoints).
+func compactUpdates(us []model.Update) []model.Update {
+	accs := map[int64]*entAcc{}
+	for _, u := range us {
+		k := u.EntityKey()
+		a := accs[k]
+		if a == nil {
+			a = &entAcc{}
+			accs[k] = a
+		}
+		switch u.Kind {
+		case model.OpAddNode, model.OpAddRel:
+			c := cloneUpdate(u)
+			a.add = &c
+		case model.OpUpdateNode, model.OpUpdateRel:
+			switch {
+			case a.add != nil:
+				mergeIntoAdd(a.add, u)
+			case a.upd != nil:
+				mergeUpdates(a.upd, u)
+			default:
+				c := cloneUpdate(u)
+				a.upd = &c
+			}
+		case model.OpDeleteNode, model.OpDeleteRel:
+			if a.add != nil {
+				a.add = nil // created and destroyed within the segment
+			} else {
+				a.upd = nil
+				c := cloneUpdate(u)
+				a.del = &c
+			}
+		}
+	}
+	var relDel, nodeDel, nodes, rels []model.Update
+	route := func(u *model.Update) {
+		if u == nil {
+			return
+		}
+		u.Normalize()
+		if u.Kind.IsNodeOp() {
+			nodes = append(nodes, *u)
+		} else {
+			rels = append(rels, *u)
+		}
+	}
+	for _, a := range accs {
+		if a.del != nil {
+			if a.del.Kind.IsNodeOp() {
+				nodeDel = append(nodeDel, *a.del)
+			} else {
+				relDel = append(relDel, *a.del)
+			}
+		}
+		route(a.add)
+		route(a.upd)
+	}
+	sort.Slice(relDel, func(i, j int) bool { return relDel[i].RelID < relDel[j].RelID })
+	sort.Slice(nodeDel, func(i, j int) bool { return nodeDel[i].NodeID < nodeDel[j].NodeID })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].NodeID < nodes[j].NodeID })
+	sort.Slice(rels, func(i, j int) bool { return rels[i].RelID < rels[j].RelID })
+	out := make([]model.Update, 0, len(relDel)+len(nodeDel)+len(nodes)+len(rels))
+	out = append(out, relDel...)
+	out = append(out, nodeDel...)
+	out = append(out, nodes...)
+	return append(out, rels...)
+}
+
+// cloneUpdate deep-copies the slices and map so merging never aliases the
+// caller's updates.
+func cloneUpdate(u model.Update) model.Update {
+	c := u
+	c.AddLabels = append([]string(nil), u.AddLabels...)
+	c.DelLabels = append([]string(nil), u.DelLabels...)
+	c.DelProps = append([]string(nil), u.DelProps...)
+	if u.SetProps != nil {
+		c.SetProps = make(model.Properties, len(u.SetProps))
+		for k, v := range u.SetProps {
+			c.SetProps[k] = v
+		}
+	}
+	return c
+}
+
+// mergeIntoAdd folds a later update b into a pending add: the add's labels
+// and props become the post-b state (Apply's order within one update is
+// del-labels-then-add-labels and set-props-then-del-props, so b's deletes
+// strike a's adds first, then b's own adds/sets land).
+func mergeIntoAdd(add *model.Update, b model.Update) {
+	add.AddLabels = append(minusStrs(add.AddLabels, b.DelLabels), b.AddLabels...)
+	add.SetProps = mergeProps(add.SetProps, b.SetProps, b.DelProps)
+}
+
+// mergeUpdates folds update b into update a so that applying the merged
+// update equals applying a then b:
+//
+//	labels: del = aDel ∪ bDel;  add = (aAdd − bDel) ∪ bAdd
+//	props:  set = (aSet − bDel) overlaid by bSet;  del = (aDel − keys(bSet)) ∪ bDel
+func mergeUpdates(a *model.Update, b model.Update) {
+	a.AddLabels = append(minusStrs(a.AddLabels, b.DelLabels), b.AddLabels...)
+	a.DelLabels = append(a.DelLabels, b.DelLabels...)
+	a.SetProps = mergeProps(a.SetProps, b.SetProps, b.DelProps)
+	keep := a.DelProps[:0]
+	for _, k := range a.DelProps {
+		if _, set := b.SetProps[k]; !set {
+			keep = append(keep, k)
+		}
+	}
+	a.DelProps = append(keep, b.DelProps...)
+	a.TS = b.TS
+}
+
+// minusStrs returns a without any element of del (order preserved).
+func minusStrs(a, del []string) []string {
+	if len(del) == 0 || len(a) == 0 {
+		return a
+	}
+	out := a[:0]
+	for _, s := range a {
+		drop := false
+		for _, d := range del {
+			if s == d {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// mergeProps applies (set bSet, del bDel) on top of base, returning the
+// surviving set map.
+func mergeProps(base, bSet model.Properties, bDel []string) model.Properties {
+	if base == nil && bSet == nil {
+		return nil
+	}
+	out := base
+	if out == nil {
+		out = model.Properties{}
+	}
+	for _, k := range bDel {
+		delete(out, k)
+	}
+	for k, v := range bSet {
+		out[k] = v
+	}
+	return out
+}

@@ -238,20 +238,33 @@ func growBytes(b []byte, n int) []byte {
 	return append(b, make([]byte, n)...)
 }
 
-// replayLog streams decoded updates (with their log offsets) starting at
-// log offset from, in commit order, stopping early when fn returns false
-// or ctx is cancelled (cancellation is checked once per readahead batch,
-// so a runaway range scan stops within one batch of the deadline). It is
-// the shared replay engine of recover, ScanDiff, and therefore
-// GetGraph/GetGraphs: the WAL is scanned with readahead batches and, when
-// ParallelIO > 1, record decoding runs on the worker stage while fn (index
-// maintenance, graph apply) stays in order on the calling goroutine.
+// replayLog streams decoded updates (with their log offsets) from the
+// *active* log starting at offset from, in commit order, stopping early
+// when fn returns false or ctx is cancelled (cancellation is checked once
+// per readahead batch, so a runaway range scan stops within one batch of
+// the deadline). It is the shared replay engine of recover, ScanDiff, and
+// therefore GetGraph/GetGraphs: the WAL is scanned with readahead batches
+// and, when ParallelIO > 1, record decoding runs on the worker stage while
+// fn (index maintenance, graph apply) stays in order on the calling
+// goroutine. Sealed partition segments replay through the same engine via
+// replayWal/replayWalSeq with their own logs.
 func (s *Store) replayLog(ctx context.Context, from int64, fn func(off int64, u model.Update) bool) error {
+	return s.replayWal(ctx, s.log, from, fn)
+}
+
+func (s *Store) replayWal(ctx context.Context, l *wal.Log, from int64, fn func(off int64, u model.Update) bool) error {
 	if s.opts.ParallelIO > 1 {
-		return s.replayLogParallel(ctx, from, fn)
+		return s.replayWalParallel(ctx, l, from, fn)
 	}
+	return s.replayWalSeq(ctx, l, from, fn)
+}
+
+// replayWalSeq is the sequential replay path, also used inside scatter-
+// gather workers (collectPart) where nesting another pipeline per
+// partition would oversubscribe the pool.
+func (s *Store) replayWalSeq(ctx context.Context, l *wal.Log, from int64, fn func(off int64, u model.Update) bool) error {
 	var derr error
-	_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
+	_, err := l.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
 		if derr = ctx.Err(); derr != nil {
 			return false
 		}
@@ -273,11 +286,11 @@ func (s *Store) replayLog(ctx context.Context, from int64, fn func(off int64, u 
 	return err
 }
 
-func (s *Store) replayLogParallel(ctx context.Context, from int64, fn func(off int64, u model.Update) bool) error {
+func (s *Store) replayWalParallel(ctx context.Context, l *wal.Log, from int64, fn func(off int64, u model.Update) bool) error {
 	return pool.RunOrderedCtx(ctx, s.opts.ParallelIO,
 		func(emit func(frameBatch) bool) error {
 			stopped := false
-			_, err := s.log.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
+			_, err := l.ScanBatch(from, replayReadahead, func(frames []wal.Frame) bool {
 				// Frames alias the scan's readahead buffer, so each job
 				// copies its records into a pooled batch buffer before the
 				// scan moves on.

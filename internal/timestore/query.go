@@ -2,12 +2,14 @@ package timestore
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
+	"path/filepath"
+	"sort"
 
 	"aion/internal/enc"
 	"aion/internal/memgraph"
 	"aion/internal/model"
+	"aion/internal/pool"
 )
 
 // The query API comes in pairs following the database/sql convention:
@@ -16,10 +18,16 @@ import (
 // log-replay and snapshot-load loops (the two unbounded parts of any
 // global query) stop within one readahead batch of the context firing and
 // return ctx.Err().
+//
+// Every public entry point takes sealMu.RLock exactly once for its whole
+// partition walk and delegates to *Locked internals, so the partition set
+// it routes over cannot change mid-query (sealSurgery takes the write
+// side). The internals therefore must never re-enter a public method.
 
 // GetDiff returns all graph updates with start <= ts < end in commit order
-// (Table 1). It locates the first log offset through the time index and
-// then performs one sequential range scan over the log.
+// (Table 1). History before the sealed boundary is gathered from the
+// partitions' immutable log segments in parallel (scatter-gather); the
+// active tail is located through the time index and range-scanned.
 func (s *Store) GetDiff(start, end model.Timestamp) ([]model.Update, error) {
 	return s.GetDiffContext(context.Background(), start, end)
 }
@@ -45,9 +53,71 @@ func (s *Store) ScanDiffContext(ctx context.Context, start, end model.Timestamp,
 	if start >= end {
 		return nil
 	}
-	// Find the log offset of the first update at or after start.
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	return s.scanFromLocked(ctx, position{ts: start - 1, seq: seqComplete}, end, fn)
+}
+
+// before orders two stream positions.
+func (p position) before(q position) bool {
+	if p.ts != q.ts {
+		return p.ts < q.ts
+	}
+	return p.seq < q.seq
+}
+
+// scanFromLocked streams every update strictly after position from and with
+// timestamp < end to fn in commit order. Sealed partitions overlapping the
+// range are read as a scatter-gather: partition segments are replayed by
+// pool workers concurrently (each from its chain's floor offset, so a scan
+// deep inside history skips the partition prefix) while the consumer hands
+// the collected runs to fn in partition order; the active tail follows via
+// the time index. Caller holds sealMu (either mode). Mid-timestamp from
+// positions can only name points inside the active partition (snapshots
+// never straddle a seal), so sealed segments are filtered by timestamp
+// alone.
+func (s *Store) scanFromLocked(ctx context.Context, from position, end model.Timestamp, fn func(u model.Update) bool) error {
+	var overlap []*sealedPart
+	for _, p := range s.parts {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if p.maxTS > from.ts && p.minTS < end {
+			overlap = append(overlap, p)
+		}
+	}
+	stopped := false
+	if len(overlap) > 0 {
+		err := pool.RunOrderedCtx(ctx, s.opts.ParallelIO,
+			func(emit func(*sealedPart) bool) error {
+				for _, p := range overlap {
+					if !emit(p) {
+						return nil
+					}
+				}
+				return nil
+			},
+			func(p *sealedPart) ([]model.Update, error) {
+				return s.collectPart(ctx, p, from.ts, end)
+			},
+			func(us []model.Update) error {
+				for _, u := range us {
+					if !fn(u) {
+						stopped = true
+						return pool.ErrStop
+					}
+				}
+				return nil
+			})
+		if err != nil || stopped {
+			return err
+		}
+	}
+	// Active tail: the time index holds only active-partition entries, so
+	// the floor lookup lands on the first live record past from even when
+	// from predates the sealed boundary.
 	var off int64 = -1
-	err := s.timeIdx.Scan(enc.KeyTSPrefix(start), nil, func(k, v []byte) bool {
+	err := s.timeIdx.Scan(from.startKey(), nil, func(k, v []byte) bool {
 		off = int64(enc.ParseU64Value(v))
 		return false
 	})
@@ -55,7 +125,7 @@ func (s *Store) ScanDiffContext(ctx context.Context, start, end model.Timestamp,
 		return err
 	}
 	if off < 0 {
-		return nil // no updates at or after start
+		return nil // nothing past from in the active partition
 	}
 	return s.replayLog(ctx, off, func(_ int64, u model.Update) bool {
 		if u.TS >= end {
@@ -65,28 +135,65 @@ func (s *Store) ScanDiffContext(ctx context.Context, start, end model.Timestamp,
 	})
 }
 
-// GetGraph materializes the LPG snapshot valid at ts: fetch the snapshot
-// with the closest timestamp <= ts (from the GraphStore or disk) and apply
-// the forward changes from the log (Sec 4.3). The returned graph is private
-// to the caller.
+// collectPart replays one sealed partition's segment, collecting the
+// updates with fromTS < ts < end. The chain accelerates the start: replay
+// begins at the floor element's first-uncovered offset instead of 0. Runs
+// on a pool worker, so it uses the sequential replay path (nesting another
+// pipeline per partition would oversubscribe the pool); decoded updates do
+// not alias the scan's readahead buffers.
+func (s *Store) collectPart(ctx context.Context, p *sealedPart, fromTS model.Timestamp, end model.Timestamp) ([]model.Update, error) {
+	var start int64
+	if j := sort.Search(len(p.chain), func(k int) bool { return p.chain[k].pos.ts > fromTS }) - 1; j >= 0 {
+		start = p.chain[j].logOff
+	}
+	var out []model.Update
+	err := s.replayWalSeq(ctx, p.log, start, func(_ int64, u model.Update) bool {
+		if u.TS >= end {
+			return false
+		}
+		if u.TS > fromTS {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out, err
+}
+
+// GetGraph materializes the LPG snapshot valid at ts: fetch the closest
+// base at or before ts — a cached graph, an active snapshot file, or a
+// sealed partition's chain element — and apply the forward changes from
+// the owning log (Sec 4.3). A timestamp inside a sealed partition replays
+// only that partition's chain tail, never the whole history. The returned
+// graph is private to the caller.
 func (s *Store) GetGraph(ts model.Timestamp) (*memgraph.Graph, error) {
 	return s.GetGraphContext(context.Background(), ts)
 }
 
 // GetGraphContext is GetGraph honouring ctx cancellation: both halves of
-// the materialization (snapshot load, log replay) are cancellation points.
+// the materialization (base load, log replay) are cancellation points.
 func (s *Store) GetGraphContext(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, error) {
-	g, snapTS, err := s.baseSnapshot(ctx, ts)
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	return s.getGraphLocked(ctx, ts)
+}
+
+func (s *Store) getGraphLocked(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, error) {
+	g, pos, err := s.basePosLocked(ctx, ts)
 	if err != nil {
 		return nil, err
 	}
-	err = s.ScanDiffContext(ctx, snapTS+1, ts+1, func(u model.Update) bool {
+	var derr error
+	err = s.scanFromLocked(ctx, pos, ts+1, func(u model.Update) bool {
 		if aerr := g.Apply(u); aerr != nil {
-			err = fmt.Errorf("timestore: replay: %w", aerr)
+			derr = fmt.Errorf("timestore: replay: %w", aerr)
 			return false
 		}
+		s.replayed.Add(1)
 		return true
 	})
+	if err == nil {
+		err = derr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -94,85 +201,80 @@ func (s *Store) GetGraphContext(ctx context.Context, ts model.Timestamp) (*memgr
 	return g, nil
 }
 
-// baseSnapshot returns a mutable graph at the closest snapshot time <= ts:
-// first the in-memory GraphStore, then disk, then the empty graph at -1.
-func (s *Store) baseSnapshot(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, model.Timestamp, error) {
+// basePosLocked returns a mutable graph at the closest base position <= ts
+// together with that exact position: the best of the in-memory GraphStore,
+// the active snapshot files (whose names carry their (ts, seq) position),
+// and the sealed partitions' chain elements — falling back to the empty
+// graph before all history. Caller holds sealMu (either mode).
+//
+// Graphs enter the GraphStore only when complete at their timestamp (the
+// cache key carries no sequence), so a cached hit is always position
+// (ts, seqComplete). A mid-timestamp snapshot file is still usable as a
+// base — its position is exact — it just must not be cached.
+func (s *Store) basePosLocked(ctx context.Context, ts model.Timestamp) (*memgraph.Graph, position, error) {
+	best := position{ts: -1, seq: seqComplete}
+	kind := 0 // 0: empty genesis, 1: GraphStore, 2: snapshot file, 3: chain element
+	var memG *memgraph.Graph
 	if g, snapTS, ok := s.gs.Floor(ts); ok {
-		return g, snapTS, nil
+		memG, best, kind = g, position{ts: snapTS, seq: seqComplete}, 1
 	}
-	k, v, ok, err := s.snapIdx.SeekFloor(enc.KeyTSPrefix(ts))
-	if err != nil {
-		return nil, 0, err
-	}
-	if ok {
-		snapTS := model.Timestamp(binary.BigEndian.Uint64(k)) // 8-byte ts prefix
-		g, err := s.loadSnapshotFile(ctx, string(v), snapTS)
-		if err != nil {
-			return nil, 0, err
+	snapPath := ""
+	var snapPos position
+	if _, v, ok, err := s.snapIdx.SeekFloor(enc.KeyTSPrefix(ts)); err != nil {
+		return nil, position{}, err
+	} else if ok {
+		path := string(v)
+		if sts, sseq, pok := parseSnapName(filepath.Base(path)); pok && best.before(position{ts: sts, seq: sseq}) {
+			snapPath, snapPos = path, position{ts: sts, seq: sseq}
+			best, kind = snapPos, 2
 		}
-		// Put caches a CoW clone, so g itself can be handed back directly:
-		// cloning again here would force an extra copy-on-write break on the
-		// caller's first mutation.
-		s.gs.Put(g)
-		return g, snapTS, nil
 	}
-	return memgraph.New(), -1, nil
+	part, elemIdx, elemOK := s.floorElem(ts)
+	if elemOK && best.before(part.chain[elemIdx].pos) {
+		best, kind = part.chain[elemIdx].pos, 3
+	}
+	switch kind {
+	case 1:
+		return memG, best, nil
+	case 2:
+		g, err := s.loadSnapshotFile(ctx, snapPath, snapPos.ts)
+		if err != nil {
+			return nil, position{}, err
+		}
+		// Cache only if the snapshot is complete at its timestamp: absence
+		// of a time-index entry for the next sequence proves no later
+		// update at that timestamp was committed. Put caches a CoW clone,
+		// so g itself is handed back either way.
+		if _, found, gerr := s.timeIdx.Get(enc.KeyTS(snapPos.ts, snapPos.seq+1)); gerr == nil && !found {
+			s.gs.Put(g)
+		}
+		return g, snapPos, nil
+	case 3:
+		g, err := s.materializeElem(ctx, part, elemIdx)
+		if err != nil {
+			return nil, position{}, err
+		}
+		return g, best, nil
+	}
+	return memgraph.New(), position{ts: -1, seq: seqComplete}, nil
 }
 
 // GetGraphs returns a series of snapshots at start, start+step, ..., built
-// incrementally with one snapshot fetch and a single log range scan
-// (Table 1: "getGraph(1993, 2023, 1-year) returns thirty snapshots").
-// The series covers timestamps start <= ts <= end.
+// incrementally with one base fetch and a single range scan (Table 1:
+// "getGraph(1993, 2023, 1-year) returns thirty snapshots"). The series
+// covers timestamps start <= ts <= end.
 func (s *Store) GetGraphs(start, end model.Timestamp, step model.Timestamp) ([]*memgraph.Graph, error) {
 	return s.GetGraphsContext(context.Background(), start, end, step)
 }
 
 // GetGraphsContext is GetGraphs honouring ctx cancellation.
 func (s *Store) GetGraphsContext(ctx context.Context, start, end model.Timestamp, step model.Timestamp) ([]*memgraph.Graph, error) {
-	if step <= 0 {
-		return nil, fmt.Errorf("timestore: step must be positive")
-	}
-	if end < start {
-		return nil, fmt.Errorf("timestore: end %d before start %d", end, start)
-	}
-	g, snapTS, err := s.baseSnapshot(ctx, start)
-	if err != nil {
-		return nil, err
-	}
 	var out []*memgraph.Graph
-	next := start
-	// Each emitted snapshot is a full graph clone, so the emit loop itself
-	// is a cancellation point, not just the diff scan driving it.
-	emitThrough := func(upTo model.Timestamp) error {
-		for next <= upTo && next <= end {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
-			}
-			g.SetTimestamp(next)
-			out = append(out, g.Clone())
-			next += step
-		}
-		return nil
-	}
-	var derr error
-	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
-		// Emit snapshots strictly before this update's time.
-		if derr = emitThrough(u.TS - 1); derr != nil {
-			return false
-		}
-		if aerr := g.Apply(u); aerr != nil {
-			derr = fmt.Errorf("timestore: replay: %w", aerr)
-			return false
-		}
+	err := s.ScanGraphsContext(ctx, start, end, step, func(g *memgraph.Graph) bool {
+		out = append(out, g.Clone())
 		return true
 	})
-	if derr != nil {
-		return nil, derr
-	}
 	if err != nil {
-		return nil, err
-	}
-	if err := emitThrough(end); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -194,7 +296,9 @@ func (s *Store) ScanGraphsContext(ctx context.Context, start, end, step model.Ti
 	if end < start {
 		return fmt.Errorf("timestore: end %d before start %d", end, start)
 	}
-	g, snapTS, err := s.baseSnapshot(ctx, start)
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	g, pos, err := s.basePosLocked(ctx, start)
 	if err != nil {
 		return err
 	}
@@ -215,7 +319,7 @@ func (s *Store) ScanGraphsContext(ctx context.Context, start, end, step model.Ti
 		return nil
 	}
 	var derr error
-	err = s.ScanDiffContext(ctx, snapTS+1, end+1, func(u model.Update) bool {
+	err = s.scanFromLocked(ctx, pos, end+1, func(u model.Update) bool {
 		if derr = emitThrough(u.TS - 1); derr != nil || stopped {
 			return false
 		}
@@ -223,6 +327,7 @@ func (s *Store) ScanGraphsContext(ctx context.Context, start, end, step model.Ti
 			derr = fmt.Errorf("timestore: replay: %w", aerr)
 			return false
 		}
+		s.replayed.Add(1)
 		return true
 	})
 	if derr != nil {
@@ -242,8 +347,14 @@ func (s *Store) GetTemporalGraph(start, end model.Timestamp) (*memgraph.TGraph, 
 }
 
 // GetTemporalGraphContext is GetTemporalGraph honouring ctx cancellation.
+// It holds the partition set stable for the whole build (one RLock via the
+// *Locked internals — the public GetGraph/ScanDiff pair would re-acquire
+// it, and a writer queued between the two acquisitions would deadlock the
+// second).
 func (s *Store) GetTemporalGraphContext(ctx context.Context, start, end model.Timestamp) (*memgraph.TGraph, error) {
-	base, err := s.GetGraphContext(ctx, start)
+	s.sealMu.RLock()
+	defer s.sealMu.RUnlock()
+	base, err := s.getGraphLocked(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -266,13 +377,15 @@ func (s *Store) GetTemporalGraphContext(ctx context.Context, start, end model.Ti
 	if aerr != nil {
 		return nil, aerr
 	}
-	err = s.ScanDiffContext(ctx, start+1, end, func(u model.Update) bool {
-		if e := tg.Apply(u); e != nil {
-			aerr = e
-			return false
-		}
-		return true
-	})
+	if start+1 < end {
+		err = s.scanFromLocked(ctx, position{ts: start, seq: seqComplete}, end, func(u model.Update) bool {
+			if e := tg.Apply(u); e != nil {
+				aerr = e
+				return false
+			}
+			return true
+		})
+	}
 	if aerr != nil {
 		return nil, aerr
 	}

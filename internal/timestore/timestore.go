@@ -65,6 +65,16 @@ type Options struct {
 	// are identical to the pre-pipeline implementation (so paper-
 	// reproduction benches stay comparable).
 	ParallelIO int
+	// PartitionEvery seals the active partition once it holds at least this
+	// many updates (the seal lands on the next timestamp boundary, so a
+	// partition always ends at a complete timestamp). <= 0 (the default)
+	// disables partitioning: one monolithic active log, the pre-partition
+	// behaviour.
+	PartitionEvery int
+	// DeltaChainLength is the number of differential snapshots between full
+	// ones in a sealed partition's chain. 0 picks the default (4); < 0
+	// disables deltas (every chain element is a full materialization).
+	DeltaChainLength int
 	// FS is the filesystem the store persists through. nil means the real
 	// OS filesystem; crash tests substitute a vfs.FaultFS.
 	FS vfs.FS
@@ -87,6 +97,9 @@ func (o *Options) defaults() {
 	if o.ParallelIO <= 0 {
 		o.ParallelIO = runtime.GOMAXPROCS(0)
 	}
+	if o.DeltaChainLength == 0 {
+		o.DeltaChainLength = 4
+	}
 }
 
 // Store is a TimeStore instance. Appends are serialized by the caller's
@@ -98,11 +111,35 @@ type Store struct {
 	fs    vfs.FS
 	codec *enc.Codec
 	log   *wal.Log
-	// timeIdx maps KeyTS(ts, seq) -> log offset.
-	timeIdx *btree.Tree
-	// snapIdx maps KeyTSPrefix(ts) -> snapshot file path.
-	snapIdx *btree.Tree
-	gs      *graphstore.Store
+	// timeIdx maps KeyTS(ts, seq) -> log offset (active partition only).
+	timeIdx   *btree.Tree
+	timeCache *pagecache.Cache
+	// snapIdx maps KeyTSPrefix(ts) -> snapshot file path (active only).
+	snapIdx   *btree.Tree
+	snapCache *pagecache.Cache
+	gs        *graphstore.Store
+
+	// sealMu serializes partition-set transitions against readers: queries
+	// take the read side for their whole partition walk, sealSurgery takes
+	// the write side while it swaps the active log and indexes. Lock order
+	// is always s.mu before sealMu.
+	sealMu sync.RWMutex
+	// parts are the sealed partitions, oldest first (guarded by sealMu for
+	// readers; all writers also hold s.mu).
+	parts []*sealedPart
+	// activeCount / activeMinTS track the unsealed partition's extent.
+	activeCount int
+	activeMinTS model.Timestamp
+	// entryTS/entrySeq is the exact position the active partition's history
+	// starts after: the last sealed partition's end, or (-1, 0).
+	entryTS  model.Timestamp
+	entrySeq uint32
+	// sealEntry is a private graph at (entryTS, entrySeq), the base the
+	// next seal's compaction replays on. Guarded by s.mu.
+	sealEntry *memgraph.Graph
+	// sealErr makes a failed seal sticky: the directory may be mid-surgery,
+	// so subsequent writes fail fast (reads keep working; reopen recovers).
+	sealErr error
 
 	lastTS         model.Timestamp
 	seq            uint32
@@ -110,8 +147,18 @@ type Store struct {
 	bytesSinceSnap int64
 	lastSnapTS     model.Timestamp
 	updateCount    uint64
-	snapshotCount atomic.Int64
-	encBuf        []byte // append-path scratch, guarded by mu (Sec 5.3)
+	snapshotCount  atomic.Int64
+	sealedCount    atomic.Int64
+	deltaSnaps     atomic.Int64
+	sealedLogBytes atomic.Int64
+	chainBytes     atomic.Int64
+	// replayed counts updates applied on top of a base materialization
+	// (log records and chain deltas) — the work snapshots could not avoid.
+	// The equivalence harness asserts bounded replay with it.
+	replayed       atomic.Uint64
+	compactErrs    atomic.Uint64
+	lastCompactErr atomic.Value // string
+	encBuf         []byte       // append-path scratch, guarded by mu (Sec 5.3)
 
 	// snapshotBytes is the on-disk snapshot footprint, maintained at
 	// persist time so Stats never has to os.Stat snapshot files while
@@ -161,6 +208,13 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 			opts.Dir = dir
 		}
 	}
+	// Probe the sealed partitions first: a crash mid-seal may have left the
+	// active log under a marker-less p-N directory, and the rollback must
+	// reinstate it before the active path below would create an empty one.
+	parts, err := recoverPartitions(fs, opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("timestore: recover partitions: %w", err)
+	}
 	log, err := wal.OpenFS(fs, filepath.Join(opts.Dir, "updates.log"))
 	if err != nil {
 		return nil, err
@@ -198,8 +252,11 @@ func Open(codec *enc.Codec, opts Options) (*Store, error) {
 		codec:      codec,
 		log:        log,
 		timeIdx:    timeIdx,
+		timeCache:  idxCache,
 		snapIdx:    snapIdx,
+		snapCache:  snapCache,
 		gs:         graphstore.New(opts.GraphStoreBytes),
+		parts:      parts,
 		snapCh:     make(chan snapJob, 2),
 		workerDone: make(chan struct{}),
 		framePool:  pool.NewBytes(frameBatchBytes + 4096),
@@ -289,16 +346,91 @@ func parseSnapName(name string) (model.Timestamp, uint32, bool) {
 	return model.Timestamp(ts), uint32(seq), true
 }
 
-// recover rebuilds all derived state from the two sources of truth a crash
-// cannot corrupt: the tail-repaired log and the set of fully-renamed
-// snapshot files (whose names carry their timestamps). Leftover *.tmp files
-// from a crash mid-snapshot are removed; a snapshot whose timestamp is
-// ahead of the recovered log — persisted by the background worker before
-// the covering log bytes were ever fsynced — is deleted, because keeping it
-// would resurrect updates that were never durably logged. The newest
-// surviving snapshot seeds the latest in-memory graph and the log tail past
-// it is replayed on top, rebuilding the time index as it goes.
+// recoverSealed walks the already-probed sealed partitions (oldest first),
+// carrying the running end-state graph forward: a partition with a
+// complete chain materializes its end element; one without (crash mid-
+// compaction, or an orphan-dropped chain) replays its log from the
+// previous end and recompacts the chain — self-healing, with compaction
+// failures recorded rather than fatal. Returns the state at the last
+// sealed position, the seed for the active partition's recovery.
+func (s *Store) recoverSealed(ctx context.Context) (*memgraph.Graph, error) {
+	g := memgraph.New()
+	g.SetTimestamp(-1)
+	for _, p := range s.parts {
+		s.sealedCount.Add(1)
+		s.sealedLogBytes.Add(p.log.Size())
+		s.updateCount += p.count
+		for _, c := range p.chain {
+			if sz, serr := s.fs.Stat(c.path); serr == nil {
+				s.chainBytes.Add(sz)
+			}
+			if c.kind == enc.DeltaDiff {
+				s.deltaSnaps.Add(1)
+			}
+		}
+		if p.chain != nil {
+			ng, err := s.materializeElem(ctx, p, len(p.chain)-1)
+			if err != nil {
+				return nil, err
+			}
+			g = ng
+			continue
+		}
+		end, cerr := s.compactPartition(ctx, p, g.Clone())
+		if cerr == nil {
+			g = end
+			continue
+		}
+		s.recordCompactError(cerr)
+		// The chain could not be rebuilt; derive the end state (and verify
+		// the log against the marker, which compaction normally does) by
+		// plain replay.
+		var n uint64
+		var aerr error
+		err := s.replayWalSeq(ctx, p.log, 0, func(_ int64, u model.Update) bool {
+			n++
+			aerr = g.Apply(u)
+			return aerr == nil
+		})
+		if err == nil {
+			err = aerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n != p.count {
+			return nil, fmt.Errorf("timestore: partition %s log holds %d updates, marker says %d", p.dir, n, p.count)
+		}
+		g.SetTimestamp(p.maxTS)
+	}
+	if len(s.parts) > 0 {
+		last := s.parts[len(s.parts)-1]
+		s.entryTS, s.entrySeq = last.maxTS, last.endSeq
+	} else {
+		s.entryTS, s.entrySeq = -1, 0
+	}
+	return g, nil
+}
+
+// recover rebuilds all derived state from the sources of truth a crash
+// cannot corrupt: the sealed partitions (marker-committed logs plus self-
+// describing chain files) and, for the active partition, the tail-repaired
+// log and the set of fully-renamed snapshot files (whose names carry their
+// positions). Leftover *.tmp files from a crash mid-snapshot are removed,
+// as are snapshots at or before the sealed boundary (their history now
+// lives in a partition chain); a snapshot whose position is ahead of the
+// recovered log — persisted by the background worker before the covering
+// log bytes were ever fsynced — is deleted, because keeping it would
+// resurrect updates that were never durably logged. The newest surviving
+// snapshot (or the sealed end state) seeds the latest in-memory graph and
+// the log tail past it is replayed on top, rebuilding the time index.
 func (s *Store) recover() (err error) {
+	ctx := context.Background()
+	base, err := s.recoverSealed(ctx)
+	if err != nil {
+		return err
+	}
+	sealedUpdates := s.updateCount
 	names, err := s.fs.ReadDir(s.opts.Dir)
 	if err != nil {
 		return err
@@ -318,6 +450,14 @@ func (s *Store) recover() (err error) {
 			continue
 		}
 		if ts, seq, ok := parseSnapName(name); ok {
+			if ts <= s.entryTS {
+				// Pre-seal leftover (the seal crashed before the top-level
+				// directory sync): the partition chain supersedes it.
+				if rerr := s.fs.Remove(full); rerr != nil {
+					return rerr
+				}
+				continue
+			}
 			snaps = append(snaps, snapInfo{ts: ts, seq: seq, path: full})
 		}
 	}
@@ -337,25 +477,39 @@ func (s *Store) recover() (err error) {
 			baseSeq = snaps[len(snaps)-1].seq
 			basePath = snaps[len(snaps)-1].path
 		}
-		latest := memgraph.New()
+		var latest *memgraph.Graph
 		if basePath != "" {
-			latest, err = s.loadSnapshotFile(context.Background(), basePath, baseTS)
+			latest, err = s.loadSnapshotFile(ctx, basePath, baseTS)
 			if err != nil {
 				return err
 			}
+		} else {
+			latest = base.Clone()
 		}
-		// Replay the whole log: every record re-puts its time-index entry
-		// (idempotent across retries) and records past the snapshot's exact
-		// (ts, seq) position advance the latest graph — timestamps alone
-		// cannot place a snapshot, since more updates at the same timestamp
-		// may follow it in the log. Decoding runs through the same worker
-		// stage as query replay, so reopening a large store scales with cores.
-		s.lastTS, s.seq, s.updateCount = 0, 0, 0
+		// Replay the whole active log: every record re-puts its time-index
+		// entry (idempotent across retries) and records past the snapshot's
+		// exact (ts, seq) position advance the latest graph — timestamps
+		// alone cannot place a snapshot, since more updates at the same
+		// timestamp may follow it in the log. Records at or before the
+		// sealed boundary are skipped entirely: they appear only when a
+		// crash between the seal's marker and its top-level directory sync
+		// resurfaced the old pre-seal log under the active name, and their
+		// history already lives in the sealed partition.
+		s.lastTS, s.seq = s.entryTS, s.entrySeq
+		s.updateCount = sealedUpdates
+		s.activeCount = 0
 		firstPastOff := int64(-1) // log offset of the first record past the snapshot
 		var replayErr error
-		err = s.replayLog(context.Background(), 0, func(off int64, u model.Update) bool {
+		err = s.replayLog(ctx, 0, func(off int64, u model.Update) bool {
+			if u.TS <= s.entryTS {
+				return true // stale pre-seal record
+			}
 			s.updateCount++
-			if u.TS == s.lastTS && s.updateCount > 1 {
+			s.activeCount++
+			if s.activeCount == 1 {
+				s.activeMinTS = u.TS
+			}
+			if u.TS == s.lastTS {
 				s.seq++
 			} else {
 				s.lastTS, s.seq = u.TS, 0
@@ -381,11 +535,11 @@ func (s *Store) recover() (err error) {
 		if err != nil {
 			return err
 		}
-		recoveredTS := model.Timestamp(-1)
-		if s.updateCount > 0 {
+		recoveredTS := s.entryTS
+		if s.activeCount > 0 {
 			recoveredTS = s.lastTS
 		}
-		if baseTS > recoveredTS || (baseTS == recoveredTS && baseTS >= 0 && baseSeq > s.seq) {
+		if baseTS > recoveredTS || (baseTS == recoveredTS && baseTS > s.entryTS && baseSeq > s.seq) {
 			// Snapshot ahead of the durable log: drop it and retry with the
 			// next-newest one.
 			if rerr := s.fs.Remove(basePath); rerr != nil {
@@ -414,6 +568,9 @@ func (s *Store) recover() (err error) {
 			}
 		}
 		s.snapshotBytes.Store(snapBytes)
+		if s.entryTS > 0 {
+			s.lastSnapTS = s.entryTS // the chains cover through the boundary
+		}
 		if baseTS >= 0 {
 			s.lastSnapTS = baseTS
 		}
@@ -430,6 +587,7 @@ func (s *Store) recover() (err error) {
 		s.gs = graphstore.NewWithLatest(s.opts.GraphStoreBytes, latest)
 		break
 	}
+	s.sealEntry = base
 	return nil
 }
 
@@ -457,12 +615,29 @@ func (s *Store) AppendBatch(us []model.Update) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sealErr != nil {
+		return s.sealErr
+	}
+	if us[0].TS < 0 {
+		return fmt.Errorf("timestore: %w: negative ts %d", model.ErrNonMonotonic, us[0].TS)
+	}
 	last := s.lastTS
 	for _, u := range us {
 		if u.TS < last {
 			return fmt.Errorf("timestore: %w: ts %d after %d", model.ErrNonMonotonic, u.TS, last)
 		}
 		last = u.TS
+	}
+	// The seal trigger is evaluated once, before the batch reaches the log:
+	// the log write is a single call, so a mid-batch seal would strand the
+	// batch's tail inside the sealed segment. Sealing only at a strict
+	// timestamp boundary guarantees every post-seal record's timestamp
+	// exceeds the sealed boundary — the property recovery's stale-record
+	// skip relies on.
+	if s.opts.PartitionEvery > 0 && s.activeCount >= s.opts.PartitionEvery && us[0].TS > s.lastTS {
+		if err := s.sealActiveLocked(); err != nil {
+			return err
+		}
 	}
 	payloads, buf, err := s.codec.EncodeUpdates(s.encBuf, us)
 	if err != nil {
@@ -482,6 +657,9 @@ func (s *Store) AppendBatch(us []model.Update) error {
 		return err
 	}
 	for i, u := range us {
+		if u.TS > s.lastTS && s.activeCount > 0 {
+			s.maybeSnapshotLocked(s.lastTS)
+		}
 		if u.TS == s.lastTS {
 			s.seq++
 		} else {
@@ -494,16 +672,38 @@ func (s *Store) AppendBatch(us []model.Update) error {
 			return err
 		}
 		s.updateCount++
+		s.activeCount++
+		if s.activeCount == 1 {
+			s.activeMinTS = u.TS
+		}
 		s.opsSinceSnap++
 		s.bytesSinceSnap += int64(len(payloads[i]))
-		s.maybeSnapshotLocked(u.TS)
 	}
 	return nil
 }
 
 func (s *Store) appendLocked(u model.Update) error {
+	if s.sealErr != nil {
+		return s.sealErr
+	}
+	if u.TS < 0 {
+		return fmt.Errorf("timestore: %w: negative ts %d", model.ErrNonMonotonic, u.TS)
+	}
 	if u.TS < s.lastTS {
 		return fmt.Errorf("timestore: %w: ts %d after %d", model.ErrNonMonotonic, u.TS, s.lastTS)
+	}
+	// Timestamp boundary: the latest graph is complete at s.lastTS — the
+	// only moment a policy snapshot (or a partition seal, which subsumes
+	// one) may capture it. Capturing mid-timestamp would poison the
+	// GraphStore with a state no (ts) query key can name.
+	if u.TS > s.lastTS && s.activeCount > 0 {
+		if s.opts.PartitionEvery > 0 && s.activeCount >= s.opts.PartitionEvery {
+			if err := s.sealActiveLocked(); err != nil {
+				return err
+			}
+		} else {
+			s.maybeSnapshotLocked(s.lastTS)
+		}
 	}
 	payload, err := s.codec.AppendUpdate(s.encBuf[:0], u)
 	if err != nil {
@@ -530,15 +730,20 @@ func (s *Store) appendLocked(u model.Update) error {
 		return err
 	}
 	s.updateCount++
+	s.activeCount++
+	if s.activeCount == 1 {
+		s.activeMinTS = u.TS
+	}
 	s.opsSinceSnap++
 	s.bytesSinceSnap += int64(len(payload))
-	s.maybeSnapshotLocked(u.TS)
 	return nil
 }
 
 // maybeSnapshotLocked runs the snapshot policy (operation-, time-, or
 // log-bytes-based, Sec 4.3) and schedules an asynchronous snapshot when any
-// configured trigger is due.
+// configured trigger is due. It is called at timestamp boundaries with the
+// just-completed timestamp, so the captured graph is always complete at its
+// timestamp — the invariant every GraphStore entry carries.
 func (s *Store) maybeSnapshotLocked(ts model.Timestamp) {
 	due := false
 	if s.opts.SnapshotEveryOps > 0 && s.opsSinceSnap >= s.opts.SnapshotEveryOps {
@@ -600,7 +805,11 @@ func (s *Store) createSnapshotLocked() error {
 		s.recordSnapshotError(err)
 		return err
 	}
-	s.gs.PutOwned(g)
+	// Unlike policy snapshots, an eager snapshot may land mid-timestamp
+	// (more updates at ts can still arrive), so the graph must NOT enter
+	// the GraphStore: the cache only ever holds graphs complete at their
+	// timestamp. The file itself is fine — its name carries the exact
+	// (ts, seq) position, which disk-floor lookups honour.
 	s.opsSinceSnap = 0
 	s.bytesSinceSnap = 0
 	s.lastSnapTS = ts
@@ -730,6 +939,24 @@ type Stats struct {
 	LogBytes      int64
 	IndexBytes    int64
 	SnapshotBytes int64
+	// SealedPartitions is the number of sealed (immutable) partitions;
+	// DeltaSnapshots counts the differential elements across their chains;
+	// SealedLogBytes / ChainBytes are their on-disk footprints (SealedLogBytes
+	// is also folded into LogBytes).
+	SealedPartitions int
+	DeltaSnapshots   int
+	SealedLogBytes   int64
+	ChainBytes       int64
+	// ReplayedUpdates counts updates applied on top of a base
+	// materialization while answering queries — the replay work snapshots
+	// and chains could not avoid. The equivalence harness asserts bounded
+	// replay with it.
+	ReplayedUpdates uint64
+	// CompactErrors counts failed partition compactions (the partition
+	// stays readable via log replay and recompaction retries at reopen);
+	// LastCompactError is the most recent failure's message.
+	CompactErrors    uint64
+	LastCompactError string
 	// SnapshotErrors counts failed snapshot persists (background or
 	// eager); LastSnapshotError is the most recent failure's message.
 	SnapshotErrors    uint64
@@ -740,34 +967,48 @@ type Stats struct {
 // Stats returns a snapshot of the store's counters and on-disk footprint.
 // The snapshot footprint comes from a running counter maintained at
 // persist time, so collecting stats never stats files while holding s.mu
-// (which would stall the append path).
+// (which would stall the append path); the sealed-partition figures are
+// likewise atomics, so Stats never touches sealMu either.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	lastErr, _ := s.lastSnapErr.Load().(string)
+	lastCompact, _ := s.lastCompactErr.Load().(string)
 	return Stats{
 		Updates:           s.updateCount,
 		Snapshots:         int(s.snapshotCount.Load()),
-		LogBytes:          s.log.Size(),
+		LogBytes:          s.log.Size() + s.sealedLogBytes.Load(),
 		IndexBytes:        s.timeIdx.DiskBytes() + s.snapIdx.DiskBytes(),
 		SnapshotBytes:     s.snapshotBytes.Load(),
+		SealedPartitions:  int(s.sealedCount.Load()),
+		DeltaSnapshots:    int(s.deltaSnaps.Load()),
+		SealedLogBytes:    s.sealedLogBytes.Load(),
+		ChainBytes:        s.chainBytes.Load(),
+		ReplayedUpdates:   s.replayed.Load(),
+		CompactErrors:     s.compactErrs.Load(),
+		LastCompactError:  lastCompact,
 		SnapshotErrors:    s.snapErrs.Load(),
 		LastSnapshotError: lastErr,
 		GraphStore:        s.gs.Stats(),
 	}
 }
 
-// DiskBytes reports the total on-disk footprint (log + indexes + snapshots)
-// for the Fig 10 storage experiment.
+// DiskBytes reports the total on-disk footprint (logs + indexes + snapshots
+// + partition chains) for the Fig 10 storage experiment.
 func (s *Store) DiskBytes() int64 {
 	st := s.Stats()
-	return st.LogBytes + st.IndexBytes + st.SnapshotBytes
+	return st.LogBytes + st.IndexBytes + st.SnapshotBytes + st.ChainBytes
 }
 
-// LatestTimestamp returns the newest committed timestamp.
+// LatestTimestamp returns the newest committed timestamp (0 when nothing
+// has been committed — internally an empty store sits at the genesis
+// position -1, which is not a timestamp callers should see).
 func (s *Store) LatestTimestamp() model.Timestamp {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.lastTS < 0 {
+		return 0
+	}
 	return s.lastTS
 }
 
@@ -793,9 +1034,10 @@ func (s *Store) Flush() error {
 	return s.log.Sync()
 }
 
-// Close flushes and closes the store. The background snapshot worker is
-// reaped even when the flush fails (e.g. on a failed filesystem), so Close
-// never leaks the goroutine.
+// Close flushes and closes the store, including every sealed partition's
+// log segment. The background snapshot worker is reaped even when the
+// flush fails (e.g. on a failed filesystem), so Close never leaks the
+// goroutine.
 func (s *Store) Close() error {
 	ferr := s.Flush()
 	if s.snapCh != nil {
@@ -806,5 +1048,9 @@ func (s *Store) Close() error {
 	if ferr != nil {
 		return ferr
 	}
-	return s.log.Close()
+	cerr := s.log.Close()
+	for _, p := range s.parts {
+		cerr = errors.Join(cerr, p.log.Close())
+	}
+	return cerr
 }
