@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress replica-smoke seal-sweep
+.PHONY: build test race vet lint cover bench-smoke fuzz-smoke stress replica-smoke seal-sweep failover-sweep
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,23 @@ replica-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeUpdates -fuzztime 30s ./internal/enc/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeDelta -fuzztime 15s ./internal/enc/
+
+# The failover gate: the kill/partition × protocol-point promotion sweep
+# plus the seeded replication chaos soak, across a bounded seed set under
+# the race detector. Per-seed verbose results accumulate in
+# FAILOVER_sweep.txt (the CI-visible artifact); any failing seed fails
+# the target with the transcript printed.
+FAILOVER_SEEDS ?= 1 7 13
+failover-sweep:
+	@: > FAILOVER_sweep.txt
+	@set -e; for s in $(FAILOVER_SEEDS); do \
+		echo "== failover sweep, seed $$s =="; \
+		echo "== seed $$s ==" >> FAILOVER_sweep.txt; \
+		$(GO) test -race -count=1 -v -run 'TestFailoverSweep|TestReplicationChaosSeeded' \
+			./internal/replica/ -failover.seed=$$s >> FAILOVER_sweep.txt 2>&1 \
+			|| { tail -40 FAILOVER_sweep.txt; exit 1; }; \
+	done
+	@grep -c '^=== RUN' FAILOVER_sweep.txt | xargs -I{} echo "failover sweep: {} scenario runs, all passed (see FAILOVER_sweep.txt)"
 
 # The partitioned-history gate: the seal crash sweeps and the cross-store
 # equivalence harness (partitioned vs monolithic, byte-identical results)

@@ -67,23 +67,29 @@ func main() {
 		DrainTimeout:  *drainTimeout,
 	}
 
+	// Every node serves REPLICATE streams: after a PROMOTE the ex-follower
+	// is the shipping primary, and the Source refuses streams (FailFenced)
+	// while the node is not primary, so running it everywhere is safe.
+	src := replica.NewSource(sys.Host)
+	srvOpts.ReplicationHandler = src.ServeConn
+	srvOpts.Replication = src
+
 	var follower *replica.Follower
-	followerDone := make(chan error, 1)
+	var applier *replica.Applier
 	if *replicaOf != "" {
 		// Follower: reject writes and above-watermark reads at the gate,
 		// and tail the primary's WAL in the background.
-		applier := replica.NewApplier(sys)
+		applier = replica.NewApplier(sys)
 		applier.StalenessBound = model.Timestamp(*staleness)
 		applier.DisconnectGrace = *disconnGrace
 		srvOpts.ReadGate = applier.Gate
 		srvOpts.Replication = applier
 		follower = &replica.Follower{Applier: applier, Addr: *replicaOf}
-	} else {
-		// Primary: accept REPLICATE streams from followers.
-		src := replica.NewSource(sys.Host)
-		srvOpts.ReplicationHandler = src.ServeConn
-		srvOpts.Replication = src
 	}
+	// The admin surface: PROMOTE/STATUS verbs and epoch gossip. Promotion
+	// stops the follower stream before flipping the role.
+	node := replica.NewNode(sys, applier)
+	srvOpts.Admin = node
 
 	srv := bolt.NewServer(cypher.NewEngine(sys), srvOpts)
 	bound, err := srv.Listen(*addr)
@@ -101,18 +107,38 @@ func main() {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
+	var followerExit <-chan struct{}
 	if follower != nil {
-		go func() { followerDone <- follower.Run(ctx) }()
+		node.StartFollower(ctx, follower)
+		followerExit = node.FollowerDone()
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case <-sig:
-		fmt.Println("shutting down")
-	case err := <-followerDone:
-		// The follower loop only exits on divergence fail-stop.
-		fmt.Fprintln(os.Stderr, "aion-server: replication fail-stop:", err)
+serve:
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			break serve
+		case <-followerExit: // nil channel on a primary: blocks forever
+			followerExit = nil
+			if err := node.FollowerErr(); err != nil {
+				// Divergence fail-stop: this node's log is not a prefix of
+				// the primary's. Operator intervention (reseed) required.
+				fmt.Fprintln(os.Stderr, "aion-server: replication fail-stop:", err)
+				break serve
+			}
+			// Clean stop: a PROMOTE flipped this node writable. The stream
+			// stops BEFORE the role flips, so briefly wait for the settled
+			// status before logging it. Keep serving either way.
+			st := node.NodeStatus()
+			for wait := 0; st.Role == "replica" && wait < 20; wait++ {
+				time.Sleep(50 * time.Millisecond)
+				st = node.NodeStatus()
+			}
+			fmt.Printf("promoted: now %s at epoch %d\n", st.Role, st.Epoch)
+		}
 	}
 	cancel()
 	srv.Close()

@@ -2,6 +2,7 @@ package bolt
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"aion/internal/clock"
 	"aion/internal/cypher"
 	"aion/internal/model"
 )
@@ -22,6 +24,47 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// dial re-establishes the transport on RunRetry redials; set by
+	// DialVia, nil means net.Dial("tcp", addr).
+	dial func(addr string) (net.Conn, error)
+	// epoch is the server's fencing epoch as of the HELLO reply (zero when
+	// the server has no admin surface).
+	epoch uint64
+	// OpTimeout bounds the handshake and admin (Promote/Status) reads, and
+	// pads the reply deadline of RunTimeout. Without it a silently dead
+	// connection — a network partition blackholing the route — would block
+	// a reply read forever. Zero means the 2s default.
+	OpTimeout time.Duration
+}
+
+func (c *Client) opTimeout() time.Duration {
+	if c.OpTimeout > 0 {
+		return c.OpTimeout
+	}
+	return 2 * time.Second
+}
+
+// recvDeadline reads one frame under a read deadline of d, clearing the
+// deadline afterwards so later frames on the session are unaffected.
+func (c *Client) recvDeadline(d time.Duration) ([]byte, error) {
+	if c.conn != nil {
+		c.conn.SetReadDeadline(time.Now().Add(d))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	return c.recv()
+}
+
+// ServerEpoch returns the fencing epoch the server reported in the HELLO
+// handshake (or the last Status call), zero if it reported none.
+func (c *Client) ServerEpoch() uint64 { return c.epoch }
+
+// NoteEpoch raises the epoch this client gossips on its next Status call.
+// Routers call it with the highest epoch seen across the cluster before
+// probing, so a deposed primary hears about the reign that replaced it.
+func (c *Client) NoteEpoch(epoch uint64) {
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
 }
 
 // Summary carries the write counters of a completed query.
@@ -42,6 +85,16 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff ceiling. Zero means no cap.
 	MaxDelay time.Duration
+	// Clock supplies the backoff sleeps; nil means the wall clock. Fault
+	// sweeps install clock.Fake so thousands of retry cycles run without
+	// wall-clock waits.
+	Clock clock.Clock
+}
+
+// sleepBackoff sleeps the full-jitter delay before retry number attempt
+// (0-based) on the policy's clock.
+func (p RetryPolicy) sleepBackoff(attempt int) {
+	_ = clock.OrReal(p.Clock).Sleep(context.Background(), p.Backoff(attempt))
 }
 
 // DefaultRetryPolicy suits a briefly overloaded server: up to 5 attempts
@@ -89,18 +142,28 @@ func TransportRetryable(err error) bool {
 
 // Dial connects and performs the HELLO handshake.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialVia(addr, nil)
+}
+
+// DialVia is Dial through a custom transport dialer (nil means plain TCP).
+// Fault sweeps inject a netfault.Network Dialer here so every reconnect the
+// client makes flows through the same fault schedule.
+func DialVia(addr string, dial func(addr string) (net.Conn, error)) (*Client, error) {
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{addr: addr, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+	c := &Client{addr: addr, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16), dial: dial}
 	hello := []byte{MsgHello}
 	hello = appendString(hello, "aion-go/1.0")
 	if err := c.send(hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	frame, err := c.recv()
+	frame, err := c.recvDeadline(c.opTimeout())
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -109,7 +172,81 @@ func Dial(addr string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("bolt: handshake rejected")
 	}
+	// Servers with an admin surface append their fencing epoch to the
+	// handshake SUCCESS; older/plain servers send a bare frame.
+	if len(frame) >= 9 {
+		c.epoch = binary.BigEndian.Uint64(frame[1:9])
+	}
 	return c, nil
+}
+
+// redial re-establishes the transport after a mid-stream failure, reusing
+// the dialer this client was created with.
+func (c *Client) redial() error {
+	nc, err := DialVia(c.addr, c.dial)
+	if err != nil {
+		return err
+	}
+	c.conn, c.r, c.w, c.epoch = nc.conn, nc.r, nc.w, nc.epoch
+	return nil
+}
+
+// Promote asks the server to take over as primary: it advances the fencing
+// epoch, persists it, and flips the node writable. Returns the new epoch.
+// The caller is responsible for making sure the old primary is dead or
+// partitioned — the epoch fence is what keeps a zombie from splitting the
+// brain afterwards.
+func (c *Client) Promote() (uint64, error) {
+	if err := c.send([]byte{MsgPromote}); err != nil {
+		return 0, err
+	}
+	frame, err := c.recvDeadline(c.opTimeout())
+	if err != nil {
+		return 0, err
+	}
+	if len(frame) > 0 && frame[0] == MsgFailure {
+		return 0, decodeFailure(frame[1:])
+	}
+	if len(frame) < 9 || frame[0] != MsgSuccess {
+		return 0, fmt.Errorf("bolt: bad promote reply")
+	}
+	c.epoch = binary.BigEndian.Uint64(frame[1:9])
+	return c.epoch, nil
+}
+
+// Status fetches the server's role, fencing epoch, and replication
+// watermark. Routers use it to re-resolve the primary after a failover.
+// The request carries the highest epoch this client has seen, so a status
+// probe also gossips the epoch forward — probing a deposed primary that
+// missed the failover is what fences it.
+func (c *Client) Status() (NodeStatus, error) {
+	req := binary.BigEndian.AppendUint64([]byte{MsgStatus}, c.epoch)
+	if err := c.send(req); err != nil {
+		return NodeStatus{}, err
+	}
+	frame, err := c.recvDeadline(c.opTimeout())
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	if len(frame) > 0 && frame[0] == MsgFailure {
+		return NodeStatus{}, decodeFailure(frame[1:])
+	}
+	if len(frame) < 9 || frame[0] != MsgSuccess {
+		return NodeStatus{}, fmt.Errorf("bolt: bad status reply")
+	}
+	st := NodeStatus{Epoch: binary.BigEndian.Uint64(frame[1:9])}
+	role, rest, err := readString(frame[9:])
+	if err != nil {
+		return NodeStatus{}, err
+	}
+	st.Role = role
+	wm, w := binary.Varint(rest)
+	if w <= 0 {
+		return NodeStatus{}, fmt.Errorf("bolt: bad status watermark")
+	}
+	st.Watermark = wm
+	c.epoch = st.Epoch
+	return st, nil
 }
 
 func (c *Client) send(payload []byte) error {
@@ -135,6 +272,13 @@ func (c *Client) Run(query string, params map[string]model.Value) ([]string, [][
 // answers with a FailTimeout FAILURE when the query exceeds it. A zero
 // timeout requests the server default.
 func (c *Client) RunTimeout(query string, params map[string]model.Value, timeout time.Duration) ([]string, [][]cypher.Val, *Summary, error) {
+	if timeout > 0 && c.conn != nil {
+		// Bound the whole statement's reads client-side: the server enforces
+		// the query deadline, but only a local deadline saves us from a
+		// connection the network silently blackholed.
+		c.conn.SetReadDeadline(time.Now().Add(timeout + c.opTimeout()))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
 	msg := []byte{MsgRun}
 	msg = appendString(msg, query)
 	msg = binary.AppendUvarint(msg, uint64(len(params)))
@@ -236,19 +380,17 @@ func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]mo
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(policy.Backoff(attempt - 1))
+			policy.sleepBackoff(attempt - 1)
 		}
 		if c.conn == nil {
 			// Previous attempt lost the connection; redial before retrying.
-			nc, err := Dial(c.addr)
-			if err != nil {
+			if err := c.redial(); err != nil {
 				lastErr = err
 				if !TransportRetryable(err) {
 					return nil, nil, nil, err
 				}
 				continue
 			}
-			c.conn, c.r, c.w = nc.conn, nc.r, nc.w
 		}
 		cols, rows, sum, err := c.RunTimeout(query, params, timeout)
 		if err == nil {
@@ -277,6 +419,11 @@ func (c *Client) RunRetry(policy RetryPolicy, query string, params map[string]mo
 // transport-level dial failures, for connecting to servers that may still
 // be starting up or briefly unreachable.
 func DialRetry(addr string, policy RetryPolicy) (*Client, error) {
+	return DialRetryVia(addr, policy, nil)
+}
+
+// DialRetryVia is DialRetry through a custom transport dialer.
+func DialRetryVia(addr string, policy RetryPolicy, dial func(addr string) (net.Conn, error)) (*Client, error) {
 	attempts := policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -284,9 +431,9 @@ func DialRetry(addr string, policy RetryPolicy) (*Client, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(policy.Backoff(attempt - 1))
+			policy.sleepBackoff(attempt - 1)
 		}
-		c, err := Dial(addr)
+		c, err := DialVia(addr, dial)
 		if err == nil {
 			return c, nil
 		}

@@ -2,6 +2,8 @@ package bolt
 
 import (
 	"errors"
+	"fmt"
+	"net"
 	"time"
 
 	"aion/internal/cypher"
@@ -22,12 +24,23 @@ type Router struct {
 	primary  string
 	replicas []string
 	policy   RetryPolicy
+	dial     func(addr string) (net.Conn, error)
+	// OpTimeout, when set, is applied to every dialed client's handshake
+	// and admin reads (Client.OpTimeout). Fault sweeps lower it so probing
+	// a blackholed node costs milliseconds, not the 2s default.
+	OpTimeout time.Duration
 
 	conns map[string]*Client
 	rr    int
 
 	// reroutes counts reads that had to fall back to another node.
 	reroutes uint64
+	// failovers counts writes that triggered primary re-resolution after a
+	// fenced/read-only/unreachable primary.
+	failovers uint64
+	// epoch is the highest fencing epoch observed across the cluster; a
+	// node reporting a lower epoch is never adopted as primary.
+	epoch uint64
 }
 
 // NewRouter creates a router over a primary address and zero or more
@@ -37,16 +50,35 @@ func NewRouter(primary string, replicas []string, policy RetryPolicy) *Router {
 		conns: map[string]*Client{}}
 }
 
+// NewRouterVia is NewRouter with a custom transport dialer (nil means plain
+// TCP), so fault sweeps can route the router's traffic through an injected
+// netfault.Network.
+func NewRouterVia(primary string, replicas []string, policy RetryPolicy, dial func(addr string) (net.Conn, error)) *Router {
+	rt := NewRouter(primary, replicas, policy)
+	rt.dial = dial
+	return rt
+}
+
 // Reroutes returns how many reads fell back from a replica to another node.
 func (rt *Router) Reroutes() uint64 { return rt.reroutes }
+
+// Failovers returns how many times a write forced the router to re-resolve
+// the primary (fenced, demoted, or unreachable old primary).
+func (rt *Router) Failovers() uint64 { return rt.failovers }
+
+// Primary returns the address the router currently believes is the primary.
+func (rt *Router) Primary() string { return rt.primary }
 
 func (rt *Router) client(addr string) (*Client, error) {
 	if c, ok := rt.conns[addr]; ok {
 		return c, nil
 	}
-	c, err := DialRetry(addr, rt.policy)
+	c, err := DialRetryVia(addr, rt.policy, rt.dial)
 	if err != nil {
 		return nil, err
+	}
+	if rt.OpTimeout > 0 {
+		c.OpTimeout = rt.OpTimeout
 	}
 	rt.conns[addr] = c
 	return c, nil
@@ -61,13 +93,76 @@ func (rt *Router) drop(addr string) {
 
 // reroutable reports whether a read that failed on a replica should be
 // tried on another node: transport failures, retryable server states, and
-// the replica-specific rejections (read-only, lag, diverged fail-stop).
+// the replica-specific rejections (read-only, lag, diverged fail-stop,
+// fenced ex-primary).
 func reroutable(err error) bool {
 	var se *ServerError
 	if errors.As(err, &se) {
-		return se.Retryable() || se.Code == FailReadOnly || se.Code == FailDiverged
+		return se.Retryable() || se.Code == FailReadOnly || se.Code == FailDiverged ||
+			se.Code == FailFenced
 	}
 	return TransportRetryable(err)
+}
+
+// needsResolve reports whether a write failure means the node we targeted is
+// not (or no longer) the primary: it is fenced, read-only, or unreachable.
+func needsResolve(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == FailFenced || se.Code == FailReadOnly
+	}
+	return TransportRetryable(err)
+}
+
+// resolvePrimary probes every known node's STATUS and adopts the writable
+// node with the highest fencing epoch as the new primary. Nodes reporting
+// an epoch below the highest the router has seen are ignored — a zombie
+// ex-primary that has not yet observed its demotion can still answer
+// STATUS "primary" at the stale epoch, and following it would split the
+// brain. Returns an error when no writable node at a current epoch answers.
+func (rt *Router) resolvePrimary() error {
+	candidates := append([]string{rt.primary}, rt.replicas...)
+	var best string
+	var bestEpoch uint64
+	found := false
+	for _, addr := range candidates {
+		c, err := rt.client(addr)
+		if err != nil {
+			continue
+		}
+		c.NoteEpoch(rt.epoch)
+		st, err := c.Status()
+		if err != nil {
+			rt.drop(addr)
+			continue
+		}
+		if st.Epoch > rt.epoch {
+			rt.epoch = st.Epoch
+		}
+		if st.Role != "primary" {
+			continue
+		}
+		if !found || st.Epoch > bestEpoch {
+			best, bestEpoch, found = addr, st.Epoch, true
+		}
+	}
+	if !found || bestEpoch < rt.epoch {
+		return fmt.Errorf("bolt: no primary at epoch %d among %d nodes", rt.epoch, len(candidates))
+	}
+	if best != rt.primary {
+		// Keep the old primary in the replica set: after it observes the new
+		// epoch it demotes to a read-only node and can serve reads again.
+		rt.replicas = append(rt.replicas, rt.primary)
+		rest := rt.replicas[:0]
+		for _, a := range rt.replicas {
+			if a != best {
+				rest = append(rest, a)
+			}
+		}
+		rt.replicas = rest
+		rt.primary = best
+	}
+	return nil
 }
 
 // Run routes one statement: parsed writes go straight to the primary with
@@ -102,15 +197,39 @@ func (rt *Router) Run(query string, params map[string]model.Value, timeout time.
 		}
 		_ = lastErr // every replica refused; the primary answers below
 	}
-	c, err := rt.client(rt.primary)
-	if err != nil {
-		return nil, nil, nil, err
+	// Primary path, following the fencing epoch: when the node we thought
+	// was primary answers fenced/read-only or drops off the network, probe
+	// the cluster for the highest-epoch primary and retry there. Bounded
+	// resolution rounds keep a fully-dead cluster from looping forever.
+	const resolveRounds = 3
+	var lastErr error
+	for round := 0; round < resolveRounds; round++ {
+		if round > 0 {
+			rt.policy.sleepBackoff(round - 1)
+			rt.failovers++
+			if err := rt.resolvePrimary(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		c, err := rt.client(rt.primary)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cols, rows, sum, err := c.RunRetry(rt.policy, query, params, timeout)
+		if err == nil {
+			return cols, rows, sum, nil
+		}
+		lastErr = err
+		if TransportRetryable(err) {
+			rt.drop(rt.primary)
+		}
+		if !needsResolve(err) {
+			return nil, nil, nil, err
+		}
 	}
-	cols, rows, sum, err := c.RunRetry(rt.policy, query, params, timeout)
-	if err != nil && TransportRetryable(err) {
-		rt.drop(rt.primary)
-	}
-	return cols, rows, sum, err
+	return nil, nil, nil, lastErr
 }
 
 // Close closes every connection the router holds.

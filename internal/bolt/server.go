@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aion/internal/cypher"
+	"aion/internal/hostdb"
 	"aion/internal/model"
 )
 
@@ -53,6 +54,34 @@ type Options struct {
 	ReplicationHandler func(conn net.Conn, r *bufio.Reader, w *bufio.Writer, req []byte)
 	// Replication, when set, contributes replication counters to Metrics.
 	Replication Replicator
+	// Admin, when set, exposes the failover control surface: MsgPromote
+	// and MsgStatus frames are answered through it, and epochs carried in
+	// HELLO frames are folded into the node (fencing a stale primary).
+	Admin Admin
+}
+
+// Admin is the failover control surface a node installs on its Bolt
+// listener. internal/replica.Node implements it.
+type Admin interface {
+	// PromoteNode advances the fencing epoch and makes this node the
+	// primary; it returns the new epoch.
+	PromoteNode() (epoch uint64, err error)
+	// NodeStatus reports the node's role, epoch, and serving watermark.
+	NodeStatus() NodeStatus
+	// ObserveEpoch folds an epoch seen on the wire into the node (demoting
+	// a primary that learns of a higher reign) and returns the node's
+	// epoch after observation.
+	ObserveEpoch(epoch uint64) uint64
+}
+
+// NodeStatus is a node's failover-relevant state, served via MsgStatus.
+type NodeStatus struct {
+	// Role is the node's hostdb role: "primary", "replica", or "fenced".
+	Role string
+	// Epoch is the highest fencing epoch the node has durably observed.
+	Epoch uint64
+	// Watermark is the highest commit timestamp the node can serve.
+	Watermark int64
 }
 
 // ReplicationMetrics is a snapshot of a node's replication counters. On a
@@ -79,6 +108,11 @@ type ReplicationMetrics struct {
 	// WatermarkLag is the primary clock minus the watermark as of the last
 	// heartbeat — how far behind this follower is, in commit timestamps.
 	WatermarkLag int64
+	// Epoch is the node's fencing epoch.
+	Epoch uint64
+	// FencedStreams counts replication streams refused or terminated
+	// because this node is not (or no longer) the primary.
+	FencedStreams uint64
 }
 
 // Replicator exposes replication counters for the metrics surface; both the
@@ -100,6 +134,8 @@ type Metrics struct {
 	// Rejected counts statements refused by the read gate (replica writes
 	// and above-watermark reads).
 	Rejected uint64
+	// Promotions counts successful MsgPromote commands served.
+	Promotions uint64
 	// Replication holds the node's replication counters when replication is
 	// configured, nil otherwise.
 	Replication *ReplicationMetrics
@@ -140,11 +176,12 @@ type Server struct {
 	active    int
 	drainedCh chan struct{}
 
-	queries  atomic.Uint64
-	shed     atomic.Uint64
-	timeouts atomic.Uint64
-	panics   atomic.Uint64
-	rejected atomic.Uint64
+	queries    atomic.Uint64
+	shed       atomic.Uint64
+	timeouts   atomic.Uint64
+	panics     atomic.Uint64
+	rejected   atomic.Uint64
+	promotions atomic.Uint64
 }
 
 // NewServer creates a server over a Cypher engine. Options are variadic so
@@ -172,11 +209,12 @@ func NewServer(engine *cypher.Engine, opts ...Options) *Server {
 // Metrics returns a snapshot of the admission counters.
 func (s *Server) Metrics() Metrics {
 	m := Metrics{
-		Queries:  s.queries.Load(),
-		Shed:     s.shed.Load(),
-		Timeouts: s.timeouts.Load(),
-		Panics:   s.panics.Load(),
-		Rejected: s.rejected.Load(),
+		Queries:    s.queries.Load(),
+		Shed:       s.shed.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Panics:     s.panics.Load(),
+		Rejected:   s.rejected.Load(),
+		Promotions: s.promotions.Load(),
 	}
 	if s.opts.Replication != nil {
 		rm := s.opts.Replication.ReplicationStats()
@@ -192,10 +230,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(l), nil
+}
+
+// Serve starts accepting connections on an existing listener and returns
+// its bound address. The fault-injection harness uses this to serve
+// through a netfault-wrapped listener; Listen is Serve over a plain TCP
+// one.
+func (s *Server) Serve(l net.Listener) string {
 	s.listener = l
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return l.Addr().String(), nil
+	return l.Addr().String()
 }
 
 func (s *Server) acceptLoop() {
@@ -381,12 +427,26 @@ func (s *Server) serve(conn net.Conn) {
 		return flush()
 	}
 
-	// Handshake: expect HELLO, reply SUCCESS.
+	// Handshake: expect HELLO, reply SUCCESS. A HELLO may carry the
+	// sender's fencing epoch after the agent string (8 bytes BE); folding
+	// it into the node is how a partitioned ex-primary learns it was
+	// deposed the moment ANY peer from the new reign talks to it. The
+	// reply carries this node's epoch back when the admin surface is
+	// enabled.
 	frame, err := read()
 	if err != nil || len(frame) == 0 || frame[0] != MsgHello {
 		return
 	}
-	if err := send([]byte{MsgSuccess}); err != nil {
+	if s.opts.Admin != nil {
+		if _, rest, herr := readString(frame[1:]); herr == nil && len(rest) >= 8 {
+			s.opts.Admin.ObserveEpoch(binary.BigEndian.Uint64(rest))
+		}
+	}
+	success := []byte{MsgSuccess}
+	if s.opts.Admin != nil {
+		success = binary.BigEndian.AppendUint64(success, s.opts.Admin.ObserveEpoch(0))
+	}
+	if err := send(success); err != nil {
 		return
 	}
 	if err := flush(); err != nil {
@@ -426,6 +486,51 @@ func (s *Server) serve(conn net.Conn) {
 			conn.SetWriteDeadline(time.Time{})
 			s.opts.ReplicationHandler(conn, r, w, frame)
 			return
+		case MsgPromote:
+			if s.opts.Admin == nil {
+				if fail(FailGeneric, "bolt: admin surface not enabled") != nil {
+					return
+				}
+				continue
+			}
+			epoch, perr := s.opts.Admin.PromoteNode()
+			if perr != nil {
+				code := FailGeneric
+				var se *ServerError
+				if errors.As(perr, &se) {
+					code = se.Code
+				}
+				if fail(code, perr.Error()) != nil {
+					return
+				}
+				continue
+			}
+			s.promotions.Add(1)
+			payload := binary.BigEndian.AppendUint64([]byte{MsgSuccess}, epoch)
+			if send(payload) != nil || flush() != nil {
+				return
+			}
+		case MsgStatus:
+			if s.opts.Admin == nil {
+				if fail(FailGeneric, "bolt: admin surface not enabled") != nil {
+					return
+				}
+				continue
+			}
+			// STATUS doubles as epoch gossip: a prober that has seen a
+			// higher epoch (a router that followed a failover) delivers it
+			// here, which is how a partitioned-then-healed ex-primary
+			// learns it was deposed and fences itself.
+			if len(frame) >= 9 {
+				s.opts.Admin.ObserveEpoch(binary.BigEndian.Uint64(frame[1:9]))
+			}
+			st := s.opts.Admin.NodeStatus()
+			payload := binary.BigEndian.AppendUint64([]byte{MsgSuccess}, st.Epoch)
+			payload = appendString(payload, st.Role)
+			payload = binary.AppendVarint(payload, st.Watermark)
+			if send(payload) != nil || flush() != nil {
+				return
+			}
 		case MsgRun:
 			// A RUN while a result is pending replaces it; the previous
 			// statement cycle is over.
@@ -472,6 +577,12 @@ func (s *Server) serve(conn net.Conn) {
 				switch {
 				case errors.As(qerr, &se):
 					code = se.Code
+				case errors.Is(qerr, hostdb.ErrFenced):
+					// A commit reached a demoted ex-primary: the client must
+					// re-resolve the primary, not retry here.
+					code = FailFenced
+				case errors.Is(qerr, hostdb.ErrReplicaReadOnly):
+					code = FailReadOnly
 				case errors.Is(qerr, context.DeadlineExceeded):
 					s.timeouts.Add(1)
 					code = FailTimeout

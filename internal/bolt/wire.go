@@ -33,6 +33,13 @@ const (
 	MsgReplicate    byte = 0x60
 	MsgRepBatch     byte = 0x61
 	MsgRepHeartbeat byte = 0x62
+
+	// Cluster admin messages (failover). MsgPromote asks this node to
+	// advance the fencing epoch and become the primary; MsgStatus asks for
+	// its role/epoch/watermark. Both are sent in place of RUN after HELLO
+	// and answered with a SUCCESS carrying uvarint fields, or a FAILURE.
+	MsgPromote byte = 0x50
+	MsgStatus  byte = 0x51
 )
 
 // FAILURE codes. A FAILURE frame is [MsgFailure, code, message string]; the
@@ -70,6 +77,11 @@ const (
 	// offset mismatch). The replica has fail-stopped and serves no further
 	// queries; operator intervention (re-seed) is required.
 	FailDiverged byte = 0x07
+	// FailFenced means the node observed a higher fencing epoch than the
+	// request's (or than its own reign) and refuses the operation: it is a
+	// demoted ex-primary, sticky read-only. Routing clients re-resolve the
+	// primary; a stale primary's clients must NOT simply retry here.
+	FailFenced byte = 0x08
 )
 
 // ServerError is a FAILURE received from the server, carrying the failure
@@ -107,6 +119,8 @@ func failName(code byte) string {
 		return "read only"
 	case FailDiverged:
 		return "diverged"
+	case FailFenced:
+		return "fenced"
 	}
 	return "error"
 }

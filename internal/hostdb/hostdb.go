@@ -110,6 +110,9 @@ type DB struct {
 
 	listenerMu sync.RWMutex
 	listeners  []CommitListener
+
+	// fence is the epoch/role state behind failover fencing (epoch.go).
+	fence epochState
 }
 
 // Open creates or reopens a host database. Reopening replays the retained
@@ -130,7 +133,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.InMemory {
 		db.strings = strstore.NewMem()
 		db.codec = enc.NewCodec(db.strings)
+		if err := db.initFence(); err != nil {
+			return nil, err
+		}
 		return db, nil
+	}
+	if err := db.initFence(); err != nil {
+		return nil, err
 	}
 	var err error
 	db.strings, err = strstore.OpenFS(db.fs, filepath.Join(opts.Dir, "host-strings.db"))
@@ -805,8 +814,13 @@ func (tx *Tx) Commit() (model.Timestamp, error) {
 	if len(tx.updates) == 0 {
 		return tx.db.Clock(), nil
 	}
-	if tx.db.opts.Replica {
+	// Write authority is the LIVE role, not the launch-time Replica flag:
+	// a promoted follower commits, a fenced ex-primary never does.
+	switch tx.db.Role() {
+	case RoleReplica:
 		return 0, ErrReplicaReadOnly
+	case RoleFenced:
+		return 0, ErrFenced
 	}
 	db := tx.db
 	req := &commitReq{updates: tx.updates, done: make(chan struct{})}

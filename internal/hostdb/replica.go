@@ -3,6 +3,7 @@ package hostdb
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"aion/internal/model"
 	"aion/internal/wal"
@@ -47,6 +48,42 @@ func (db *DB) DurableExtents() (strBytes, txnBytes int64) {
 // starting at byte offset off, bounded by the durable extent.
 func (db *DB) ReadStringsRaw(off int64, max int) ([]byte, error) {
 	return db.strings.ReadRaw(off, max)
+}
+
+// TailCRC summarizes the last bytes below the given durable offsets of the
+// string table and transaction log: up to maxTail bytes each, CRC32'd.
+// A follower sends this digest with its replicate request; the primary
+// recomputes the same ranges over its own files (which the follower's
+// files must be a byte prefix of) and a mismatch proves the histories
+// diverged even though the offsets line up — the same-length-different-
+// suffix case a demoted primary presents when it tries to rejoin.
+func (db *DB) TailCRC(strTo, txnTo, strMax, txnMax int64) (strLen, txnLen int64, strCRC, txnCRC uint32, err error) {
+	strLen = strTo
+	if strLen > strMax {
+		strLen = strMax
+	}
+	if strLen > 0 {
+		b, rerr := db.strings.ReadRange(strTo-strLen, strTo)
+		if rerr != nil {
+			return 0, 0, 0, 0, rerr
+		}
+		strCRC = crc32.ChecksumIEEE(b)
+	}
+	txnLen = txnTo
+	if txnLen > txnMax {
+		txnLen = txnMax
+	}
+	if txnLen > 0 {
+		if db.txnLog == nil {
+			return 0, 0, 0, 0, errors.New("hostdb: no transaction log for tail CRC")
+		}
+		b, rerr := db.txnLog.ReadRange(txnTo-txnLen, txnTo)
+		if rerr != nil {
+			return 0, 0, 0, 0, rerr
+		}
+		txnCRC = crc32.ChecksumIEEE(b)
+	}
+	return strLen, txnLen, strCRC, txnCRC, nil
 }
 
 // TxnFrames reads durable transaction-log records starting at byte offset
@@ -106,8 +143,12 @@ func (db *DB) TxnFrames(from int64, maxBytes int) (frames [][]byte, next int64, 
 // way the follower reconverges by resuming from its durable extents.
 // Returns the follower's clock (== highest applied commit timestamp).
 func (db *DB) ApplyShipment(strChunk []byte, frames [][]byte) (model.Timestamp, error) {
-	if !db.opts.Replica {
-		return 0, errors.New("hostdb: ApplyShipment on non-replica database")
+	// Shipments are accepted only in the LIVE replica role: a promoted
+	// follower is a primary now (its log is the new timeline's authority),
+	// and a fenced ex-primary may hold a divergent suffix that shipped
+	// bytes must never be appended after.
+	if r := db.Role(); r != RoleReplica {
+		return 0, fmt.Errorf("hostdb: ApplyShipment on %s database", r)
 	}
 	if len(strChunk) > 0 {
 		if err := db.strings.AppendRaw(strChunk); err != nil {

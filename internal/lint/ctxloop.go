@@ -12,6 +12,9 @@ import (
 // slot after the client has gone away.
 var ctxLoopPackages = []string{
 	"bolt", "cypher", "aion", "timestore", "lineagestore", "pool",
+	// PR-9 failover paths: follower stream loops and fault-injection plumbing
+	// must die promptly with their context, or promotion hangs on shutdown.
+	"replica", "netfault",
 }
 
 // CtxLoop flags loops, in functions that take a context.Context, whose

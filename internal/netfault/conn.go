@@ -1,0 +1,294 @@
+package netfault
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrSevered is the error a severed connection's reads and writes return
+// (wrapped in *net.OpError): the injected equivalent of an RST.
+var ErrSevered = errors.New("netfault: connection severed")
+
+// Conn wraps a real connection (TCP or net.Pipe) and applies the Network's
+// faults to its writes. The peer label ties it to an address for
+// Partition/SeverAll targeting: outbound conns are labelled with the
+// dialled address, accepted conns with their listener's address, so
+// partitioning one address silences a node's traffic in both directions.
+type Conn struct {
+	inner net.Conn
+	nw    *Network
+	peer  string
+
+	mu           sync.Mutex
+	severed      bool
+	blackholed   bool
+	halfOpen     bool
+	closed       bool
+	closeErr     error // inner Close failure from sever, surfaced by Close
+	readDeadline time.Time
+	wake         chan struct{} // replaced+closed to broadcast state changes
+}
+
+// Wrap puts inner under the Network's faults, labelled with peer.
+func (n *Network) Wrap(inner net.Conn, peer string) *Conn {
+	c := &Conn{inner: inner, nw: n, peer: peer, wake: make(chan struct{})}
+	n.register(c)
+	return c
+}
+
+// Pipe returns both ends of an in-memory connection under the Network's
+// faults, labelled peerA/peerB — the deterministic sweep's transport: no
+// kernel socket buffering, so the op counter maps 1:1 onto protocol steps.
+func (n *Network) Pipe(peerA, peerB string) (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return n.Wrap(a, peerA), n.Wrap(b, peerB)
+}
+
+// Peer returns the address label this conn is targeted by.
+func (c *Conn) Peer() string { return c.peer }
+
+// sever hard-kills the connection: both directions fail with ErrSevered
+// and the peer observes the close (EOF/RST) through the inner conn.
+func (c *Conn) sever() {
+	c.mu.Lock()
+	if c.severed || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.severed = true
+	c.broadcastLocked()
+	c.mu.Unlock()
+	c.nw.noteSever()
+	if err := c.inner.Close(); err != nil {
+		c.mu.Lock()
+		c.closeErr = err
+		c.mu.Unlock()
+	}
+}
+
+// blackhole silently kills the connection: writes keep reporting success
+// but deliver nothing, reads hang until their deadline. The inner conn is
+// NOT closed — the peer must discover the loss by liveness timeout, never
+// by an error.
+func (c *Conn) blackhole() {
+	c.mu.Lock()
+	if c.blackholed || c.severed || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.blackholed = true
+	c.broadcastLocked()
+	c.mu.Unlock()
+	// Kick any goroutine blocked inside inner.Read/Write so it re-checks
+	// state; an immediate-past deadline surfaces as a timeout error which
+	// the Read/Write paths below translate into blackhole behaviour.
+	_ = c.inner.SetDeadline(time.Unix(1, 0))
+}
+
+// broadcastLocked wakes every goroutine parked in blockRead.
+func (c *Conn) broadcastLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func (c *Conn) state() (severed, blackholed, halfOpen, closed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.severed, c.blackholed, c.halfOpen, c.closed
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	for {
+		severed, blackholed, _, closed := c.state()
+		if severed {
+			return 0, &net.OpError{Op: "read", Net: "tcp", Err: ErrSevered}
+		}
+		if closed {
+			return 0, net.ErrClosed
+		}
+		if blackholed {
+			return c.blockRead()
+		}
+		n, err := c.inner.Read(b)
+		if err != nil {
+			// The error may be the blackhole kick, not a real failure:
+			// re-check state before surfacing it.
+			if _, bh, _, _ := c.state(); bh {
+				if n > 0 {
+					// Bytes already in the local buffer arrived before the
+					// partition; deliver them.
+					return n, nil
+				}
+				continue
+			}
+			if sv, _, _, _ := c.state(); sv {
+				return n, &net.OpError{Op: "read", Net: "tcp", Err: ErrSevered}
+			}
+		}
+		return n, err
+	}
+}
+
+// blockRead models a partitioned read: hang until the caller's read
+// deadline, then report a timeout — never an error that would reveal the
+// partition.
+func (c *Conn) blockRead() (int, error) {
+	for {
+		c.mu.Lock()
+		deadline := c.readDeadline
+		severed, closed := c.severed, c.closed
+		wake := c.wake
+		c.mu.Unlock()
+		if severed {
+			return 0, &net.OpError{Op: "read", Net: "tcp", Err: ErrSevered}
+		}
+		if closed {
+			return 0, net.ErrClosed
+		}
+		if deadline.IsZero() {
+			<-wake
+			continue
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return 0, &net.OpError{Op: "read", Net: "tcp", Err: timeoutError{}}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// Write implements net.Conn, applying the Network's fault schedule.
+func (c *Conn) Write(b []byte) (int, error) {
+	severed, blackholed, halfOpen, closed := c.state()
+	if severed {
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: ErrSevered}
+	}
+	if closed {
+		return 0, net.ErrClosed
+	}
+	if blackholed || halfOpen {
+		c.nw.noteSwallow()
+		return len(b), nil
+	}
+	f, ok := c.nw.nextFault()
+	if !ok {
+		return c.innerWrite(b)
+	}
+	switch f.Kind {
+	case Drop:
+		c.sever()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: ErrSevered}
+	case Truncate:
+		if len(b) > 1 {
+			_, _ = c.innerWrite(b[:len(b)/2])
+		}
+		c.sever()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: ErrSevered}
+	case Duplicate:
+		if n, err := c.innerWrite(b); err != nil {
+			return n, err
+		}
+		if _, err := c.innerWrite(b); err != nil {
+			return len(b), err
+		}
+		return len(b), nil
+	case Corrupt:
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		if len(dup) > 0 {
+			dup[c.nw.corruptByte(len(dup))] ^= 0xff
+		}
+		return c.innerWrite(dup)
+	case Delay:
+		time.Sleep(f.Delay)
+		return c.innerWrite(b)
+	case HalfOpen:
+		c.mu.Lock()
+		c.halfOpen = true
+		c.mu.Unlock()
+		c.nw.noteSwallow()
+		return len(b), nil
+	}
+	return c.innerWrite(b)
+}
+
+// innerWrite forwards to the wrapped conn, translating the blackhole kick
+// (see blackhole) into a swallowed-success write.
+func (c *Conn) innerWrite(b []byte) (int, error) {
+	n, err := c.inner.Write(b)
+	if err != nil {
+		if _, bh, _, _ := c.state(); bh {
+			c.nw.noteSwallow()
+			return len(b), nil
+		}
+		if sv, _, _, _ := c.state(); sv {
+			return n, &net.OpError{Op: "write", Net: "tcp", Err: ErrSevered}
+		}
+	}
+	return n, err
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	severed, closeErr := c.severed, c.closeErr
+	c.broadcastLocked()
+	c.mu.Unlock()
+	c.nw.unregister(c)
+	if severed {
+		// sever already closed the inner conn; report its outcome instead
+		// of a double-close error.
+		return closeErr
+	}
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn. The deadline is tracked locally so
+// blackholed reads can honour it, and forwarded to the inner conn for
+// normal reads.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	blackholed := c.blackholed
+	c.broadcastLocked()
+	c.mu.Unlock()
+	if blackholed {
+		return nil
+	}
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if _, bh, _, _ := c.state(); bh {
+		return nil
+	}
+	return c.inner.SetWriteDeadline(t)
+}

@@ -61,6 +61,20 @@ func (e RemoteExecutor) Execute(q string) ([]string, [][]cypher.Val, *bolt.Summa
 	return e.Client.RunTimeout(q, nil, e.Timeout)
 }
 
+// AdminExecutor is the optional failover-admin surface behind the :promote
+// and :status verbs. Only executors backed by a server connection implement
+// it; the embedded executor has no replication to administer.
+type AdminExecutor interface {
+	Promote() (uint64, error)
+	Status() (bolt.NodeStatus, error)
+}
+
+// Promote implements AdminExecutor over the PROMOTE admin verb.
+func (e RemoteExecutor) Promote() (uint64, error) { return e.Client.Promote() }
+
+// Status implements AdminExecutor over the STATUS admin verb.
+func (e RemoteExecutor) Status() (bolt.NodeStatus, error) { return e.Client.Status() }
+
 // Run drives the loop: one statement per line, `:quit` / `:q` / `exit` to
 // stop, lines starting with `//` skipped. It returns on EOF.
 func Run(in io.Reader, out io.Writer, exec Executor) error {
@@ -80,6 +94,28 @@ func Run(in io.Reader, out io.Writer, exec Executor) error {
 			return nil
 		case line == ":help":
 			printHelp(out)
+			continue
+		case line == ":status":
+			if a, ok := exec.(AdminExecutor); ok {
+				if st, err := a.Status(); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprintf(out, "role=%s epoch=%d watermark=%d\n", st.Role, st.Epoch, st.Watermark)
+				}
+			} else {
+				fmt.Fprintln(out, "error: :status needs a server connection (-addr)")
+			}
+			continue
+		case line == ":promote":
+			if a, ok := exec.(AdminExecutor); ok {
+				if epoch, err := a.Promote(); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprintf(out, "promoted: this node is now the primary at epoch %d\n", epoch)
+				}
+			} else {
+				fmt.Fprintln(out, "error: :promote needs a server connection (-addr)")
+			}
 			continue
 		}
 		cols, rows, sum, err := exec.Execute(line)
@@ -119,7 +155,9 @@ func printHelp(out io.Writer) {
   USE GDB FOR SYSTEM_TIME BETWEEN a AND b ...  entity history
   CALL aion.diff(a, b)                         update stream
   CALL aion.gds.pagerank(ts, k)                analytics
-commands: :help  :quit
+commands: :help  :status  :promote  :quit
+  :status   show this node's role, fencing epoch, and watermark
+  :promote  promote this follower to primary (advances the fencing epoch)
 `)
 }
 

@@ -110,3 +110,41 @@ func TestRemoteExecutor(t *testing.T) {
 		t.Errorf("remote session output:\n%s", out.String())
 	}
 }
+
+// adminExec stubs the failover-admin surface over an embedded executor.
+type adminExec struct {
+	EmbeddedExecutor
+	epoch uint64
+}
+
+func (a *adminExec) Promote() (uint64, error) { a.epoch++; return a.epoch, nil }
+func (a *adminExec) Status() (bolt.NodeStatus, error) {
+	return bolt.NodeStatus{Role: "replica", Epoch: a.epoch, Watermark: 42}, nil
+}
+
+func TestAdminVerbs(t *testing.T) {
+	exec := &adminExec{EmbeddedExecutor: embedded(t)}
+	var out bytes.Buffer
+	in := strings.NewReader(":status\n:promote\n:quit\n")
+	if err := Run(in, &out, exec); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"role=replica epoch=0 watermark=42",
+		"promoted: this node is now the primary at epoch 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Without a server connection the verbs refuse instead of crashing.
+	out.Reset()
+	if err := Run(strings.NewReader(":promote\n:status\n:quit\n"), &out, embedded(t)); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "needs a server connection"); n != 2 {
+		t.Errorf("embedded admin verbs: %d refusals, want 2:\n%s", n, out.String())
+	}
+}

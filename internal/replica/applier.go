@@ -1,12 +1,14 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aion/internal/bolt"
+	"aion/internal/hostdb"
 	"aion/internal/model"
 	"aion/internal/system"
 )
@@ -66,6 +68,45 @@ func (a *Applier) Offsets() (strOff, txnOff int64) {
 	return a.sys.Host.DurableExtents()
 }
 
+// tailCheckBytes bounds the per-file byte range the follower digests in its
+// replicate request. 64 KiB of tail is enough to catch any realistic
+// divergent suffix (a demoted primary's unreplicated commits) without
+// rereading whole files on every reconnect.
+const tailCheckBytes = 64 << 10
+
+// BuildRequest assembles the replicate request for a (re)connect: the
+// durable resume offsets, the follower's fencing epoch, and a CRC digest of
+// the file tails below those offsets. The primary refuses the stream when
+// the digest does not match its own bytes — the same-length-divergent-
+// suffix case a demoted primary presents when it tries to rejoin as a
+// follower.
+func (a *Applier) BuildRequest() (Request, error) {
+	strOff, txnOff := a.Offsets()
+	sl, tl, sc, tc, err := a.sys.Host.TailCRC(strOff, txnOff, tailCheckBytes, tailCheckBytes)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{
+		StrOff: strOff, TxnOff: txnOff, Epoch: a.Epoch(),
+		StrTailLen: sl, TxnTailLen: tl, StrTailCRC: sc, TxnTailCRC: tc,
+	}, nil
+}
+
+// Epoch returns the follower's current fencing epoch.
+func (a *Applier) Epoch() uint64 { return a.sys.Host.Epoch() }
+
+// ObserveEpoch adopts a higher fencing epoch seen on the stream (persisted
+// before it takes effect). On a replica this never demotes anything.
+func (a *Applier) ObserveEpoch(epoch uint64) error {
+	_, _, err := a.sys.Host.ObserveEpoch(epoch)
+	return err
+}
+
+// IsReplica reports whether the node is still in the live replica role —
+// false once promoted (or fenced), at which point the stream must stop
+// applying shipments.
+func (a *Applier) IsReplica() bool { return a.sys.Host.Role() == hostdb.RoleReplica }
+
 // Watermark returns the replicated watermark: the highest commit timestamp
 // this follower can serve.
 func (a *Applier) Watermark() model.Timestamp {
@@ -105,10 +146,19 @@ func (a *Applier) Note(hb Heartbeat) {
 	a.mu.Unlock()
 }
 
+// ErrStaleShipment reports a shipment whose byte range lies entirely at or
+// below the follower's durable extents: a replayed frame (a duplicated
+// network chunk, or a primary resending after a lost ack). The prefix
+// invariant guarantees those bytes are identical to what the follower
+// already holds, so the frame is skipped — it is NOT divergence.
+var ErrStaleShipment = errors.New("replica: stale shipment replayed below durable extents")
+
 // Apply ingests one shipment: verify its offsets land exactly at this
 // follower's durable extents, append + fsync + replay through the host
-// (durability before visibility), then advance the watermark. Any
-// mismatch or replay failure is divergence and poisons the applier.
+// (durability before visibility), then advance the watermark. A shipment
+// entirely below the extents is a replay and returns ErrStaleShipment;
+// any other mismatch or replay failure is divergence and poisons the
+// applier.
 func (a *Applier) Apply(sh *Shipment) error {
 	a.mu.Lock()
 	if a.failed != nil {
@@ -118,8 +168,14 @@ func (a *Applier) Apply(sh *Shipment) error {
 	}
 	a.mu.Unlock()
 
+	if !a.IsReplica() {
+		return ErrPromoted
+	}
 	strOff, txnOff := a.Offsets()
 	if sh.StrOff != strOff || sh.TxnOff != txnOff {
+		if sh.StrOff+int64(len(sh.Strings)) <= strOff && sh.TxnOff+int64(len(sh.Frames)) <= txnOff {
+			return ErrStaleShipment
+		}
 		err := fmt.Errorf("replica: shipment offsets (str %d, txn %d) do not match follower extents (str %d, txn %d): diverged",
 			sh.StrOff, sh.TxnOff, strOff, txnOff)
 		a.MarkDiverged(err)
@@ -127,6 +183,12 @@ func (a *Applier) Apply(sh *Shipment) error {
 	}
 	ts, err := a.sys.Host.ApplyShipment(sh.Strings, sh.Frames)
 	if err != nil {
+		if !a.IsReplica() {
+			// Promotion raced the shipment: the host refused it on role
+			// grounds, not because the bytes diverged. Clean stop, no
+			// poisoning.
+			return ErrPromoted
+		}
 		a.MarkDiverged(err)
 		return err
 	}

@@ -1,0 +1,430 @@
+package replica
+
+// The failover sweep: kill or partition the primary at every interesting
+// protocol point — before replication starts, mid-catch-up, with a torn
+// shipment frame in flight, fully converged, and idle on heartbeats —
+// promote the best-caught-up follower via the PROMOTE admin verb, reconnect
+// the survivors, and assert the failover contract:
+//
+//	(a) no strongly-acked commit is lost. "Strongly acked" is the semi-sync
+//	    definition: the commit was acked to the client AND replicated to at
+//	    least one follower by failure time. (A plain ack with async
+//	    replication can always be lost with the primary; that is the
+//	    documented durability trade, not a bug.)
+//	(b) the deposed primary is fenced on first contact with the new reign's
+//	    epoch, and its divergent suffix is rejected when it tries to
+//	    rejoin (partition mode, where a zombie survives to try);
+//	(c) the surviving nodes reconverge to byte-identical files.
+//
+// Every scenario runs under a seeded netfault.Network, so fault draws are
+// reproducible; the sweep enumerates the protocol points deterministically.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"aion/internal/bolt"
+	"aion/internal/cypher"
+	"aion/internal/hostdb"
+	"aion/internal/model"
+	"aion/internal/netfault"
+	"aion/internal/system"
+	"aion/internal/vfs"
+)
+
+var failoverSeed = flag.Int64("failover.seed", 1, "base seed for the failover sweep's fault networks")
+
+// failNode is one cluster member: a system, its replication endpoints, and
+// a Bolt server listening through the fault network.
+type failNode struct {
+	name string
+	fs   vfs.FS
+	sys  *system.System
+	app  *Applier // nil on the seed primary
+	node *Node
+	src  *Source
+	srv  *bolt.Server
+	addr string
+}
+
+func startFailNode(t *testing.T, nw *netfault.Network, name string, replica bool) *failNode {
+	t.Helper()
+	n := &failNode{name: name, fs: vfs.NewFaultFS()}
+	n.sys = openNode(t, n.fs, name, replica)
+	t.Cleanup(func() { n.sys.Close() })
+	n.src = NewSource(n.sys.Host)
+	n.src.HeartbeatInterval = 20 * time.Millisecond
+	opts := bolt.Options{ReplicationHandler: n.src.ServeConn, Replication: n.src}
+	if replica {
+		n.app = NewApplier(n.sys)
+		opts.ReadGate = n.app.Gate
+		opts.Replication = n.app
+	}
+	n.node = NewNode(n.sys, n.app)
+	opts.Admin = n.node
+	n.srv = bolt.NewServer(cypher.NewEngine(n.sys), opts)
+	ln, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.addr = n.srv.Serve(ln)
+	t.Cleanup(func() { n.srv.Close() })
+	return n
+}
+
+// follow points this node's replication stream at target, through the fault
+// network's dialer, under the node's admin surface (so PROMOTE can stop it).
+func (n *failNode) follow(t *testing.T, nw *netfault.Network, target string) {
+	t.Helper()
+	fl := &Follower{
+		Applier: n.app, Addr: target,
+		Policy:      bolt.RetryPolicy{MaxAttempts: 0, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		ReadTimeout: 300 * time.Millisecond,
+		Dial:        nw.Dialer(nil),
+	}
+	n.node.StartFollower(t.Context(), fl)
+	t.Cleanup(func() { n.node.StopFollower() })
+}
+
+// waitCond polls cond until true or the deadline, then fails with msg.
+func waitCond(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stableWatermark waits until app's watermark stops moving (in-flight
+// shipments that beat the failure have landed) and returns it.
+func stableWatermark(app *Applier) model.Timestamp {
+	wm := app.Watermark()
+	for {
+		time.Sleep(25 * time.Millisecond)
+		next := app.Watermark()
+		if next == wm {
+			return wm
+		}
+		wm = next
+	}
+}
+
+// sweepPoint is one protocol point the sweep fails the primary at.
+type sweepPoint struct {
+	name       string
+	commits    int  // router writes before the failure
+	converge   bool // wait for both followers to fully catch up first
+	heartbeats bool // wait for heartbeat traffic (idle-stream point)
+	truncate   bool // tear a primary-side frame just before failing
+}
+
+var sweepPoints = []sweepPoint{
+	{name: "no-commits"},
+	{name: "early-unconverged", commits: 3},
+	{name: "mid-shipment-torn", commits: 5, converge: true, truncate: true},
+	{name: "converged", commits: 5, converge: true},
+	{name: "idle-heartbeat", commits: 4, converge: true, heartbeats: true},
+}
+
+func TestFailoverSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover sweep needs real sockets and wall-clock backoff")
+	}
+	for _, mode := range []string{"kill", "partition"} {
+		for i, pt := range sweepPoints {
+			pt := pt
+			seed := *failoverSeed + int64(i)
+			t.Run(fmt.Sprintf("%s/%s", mode, pt.name), func(t *testing.T) {
+				runFailoverScenario(t, mode, pt, seed)
+			})
+		}
+	}
+}
+
+func runFailoverScenario(t *testing.T, mode string, pt sweepPoint, seed int64) {
+	nw := netfault.New(seed)
+	p := startFailNode(t, nw, "primary", false)
+	f1 := startFailNode(t, nw, "f1", true)
+	f2 := startFailNode(t, nw, "f2", true)
+	f1.follow(t, nw, p.addr)
+	f2.follow(t, nw, p.addr)
+
+	policy := bolt.RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 30 * time.Millisecond}
+	rt := bolt.NewRouterVia(p.addr, []string{f1.addr, f2.addr}, policy, nw.Dialer(nil))
+	rt.OpTimeout = 250 * time.Millisecond
+	defer rt.Close()
+
+	var acked []model.Timestamp
+	write := func(stage string) {
+		t.Helper()
+		_, _, sum, err := rt.Run("CREATE (n:W)", nil, 500*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s write: %v", stage, err)
+		}
+		acked = append(acked, sum.CommitTS)
+	}
+	for i := 0; i < pt.commits; i++ {
+		write("pre-failure")
+	}
+	if pt.converge {
+		waitCond(t, 10*time.Second, "followers never converged", func() bool {
+			clk := p.sys.Host.Clock()
+			return f1.app.Watermark() >= clk && f2.app.Watermark() >= clk
+		})
+	}
+	if pt.heartbeats {
+		waitCond(t, 10*time.Second, "no heartbeats on idle streams", func() bool {
+			return f1.app.ReplicationStats().Heartbeats >= 1 && f2.app.ReplicationStats().Heartbeats >= 1
+		})
+	}
+	if pt.truncate {
+		// Tear the primary's next stream write mid-frame (shipment or
+		// heartbeat — both must be detected and never applied), then let a
+		// commit race it onto the wire.
+		torn := nw.Ops() + 1
+		nw.ScriptAt(torn, netfault.Fault{Kind: netfault.Truncate})
+		commitValue(t, p.sys, 9000, "torn")
+		// Make sure replication traffic (a shipment or heartbeat frame)
+		// consumed the scripted fault before we fail the primary, so the
+		// tear lands on the stream and not on some later admin dial.
+		waitCond(t, 5*time.Second, "torn frame never hit the wire", func() bool {
+			return nw.Ops() >= torn
+		})
+	}
+
+	// ---- failure injection -------------------------------------------------
+	switch mode {
+	case "kill":
+		p.srv.Close()
+		nw.SeverAll(p.addr)
+	case "partition":
+		nw.Partition(p.addr)
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+
+	// Replication state at the failure instant. Everything acked AND below
+	// a follower watermark is strongly acked: the failover must keep it.
+	wm1, wm2 := stableWatermark(f1.app), stableWatermark(f2.app)
+	wmMax := wm1
+	if wm2 > wmMax {
+		wmMax = wm2
+	}
+	var strongAcked []model.Timestamp
+	for _, ts := range acked {
+		if ts <= wmMax {
+			strongAcked = append(strongAcked, ts)
+		}
+	}
+
+	// ---- promotion ---------------------------------------------------------
+	// Promote the follower with the larger durable extents; the other one's
+	// files are then a byte prefix of the new primary's and it can rejoin.
+	surv, other := f1, f2
+	s1, t1 := f1.app.Offsets()
+	s2, t2 := f2.app.Offsets()
+	if t2 > t1 || (t2 == t1 && s2 > s1) {
+		surv, other = f2, f1
+	}
+	so, to := other.app.Offsets()
+	ss, ts := surv.app.Offsets()
+	if so > ss || to > ts {
+		t.Fatalf("survivor extents (%d,%d) not a superset of the other follower's (%d,%d)", ss, ts, so, to)
+	}
+	if surv.app.Watermark() < wmMax {
+		t.Fatalf("extents-max survivor %s at watermark %d, below cluster max %d", surv.name, surv.app.Watermark(), wmMax)
+	}
+
+	pc, err := bolt.DialVia(surv.addr, nw.Dialer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	epoch, err := pc.Promote()
+	if err != nil {
+		t.Fatalf("promote %s: %v", surv.name, err)
+	}
+	if epoch != 1 {
+		t.Fatalf("promotion epoch = %d, want 1", epoch)
+	}
+	if st, err := pc.Status(); err != nil || st.Role != "primary" || st.Epoch != 1 {
+		t.Fatalf("survivor status = %+v, %v", st, err)
+	}
+	// Promotion is idempotent from the node's perspective but a second
+	// PROMOTE is a new reign: it must advance the epoch, not reuse it.
+	if epoch2, err := pc.Promote(); err != nil || epoch2 != 2 {
+		t.Fatalf("re-promote = %d, %v; want epoch 2", epoch2, err)
+	}
+
+	// (a) nothing strongly acked may be missing from the new primary. The
+	// watermark covers commits byte-identically (prefix invariant), so
+	// ts <= watermark proves presence with identical content.
+	for _, ts := range strongAcked {
+		if ts > surv.app.Watermark() {
+			t.Fatalf("strongly-acked commit %d lost by promotion of %s (watermark %d)", ts, surv.name, surv.app.Watermark())
+		}
+	}
+
+	// ---- survivors reconverge ---------------------------------------------
+	if err := other.node.StopFollower(); err != nil {
+		t.Fatalf("stopping %s follower: %v", other.name, err)
+	}
+	other.follow(t, nw, surv.addr)
+
+	// The router discovers the new primary on its next write and keeps
+	// acking writes across the failover.
+	for i := 0; i < 3; i++ {
+		write("post-failover")
+	}
+	if rt.Failovers() == 0 {
+		t.Fatal("router never re-resolved the primary")
+	}
+	if rt.Primary() != surv.addr {
+		t.Fatalf("router primary = %s, want %s (%s)", rt.Primary(), surv.addr, surv.name)
+	}
+
+	// (c) byte-identical convergence of the survivors.
+	waitCond(t, 10*time.Second, "rejoined follower never converged on the new primary", func() bool {
+		ss, ts := surv.sys.Host.DurableExtents()
+		os, ot := other.sys.Host.DurableExtents()
+		return os == ss && ot == ts && other.app.Watermark() >= surv.sys.Host.Clock()
+	})
+	if err := other.app.Err(); err != nil {
+		t.Fatalf("rejoined follower poisoned: %v", err)
+	}
+	for _, name := range []string{"neostore.transaction.db", "host-strings.db"} {
+		sb := readFile(t, surv.fs, surv.name+"/"+name)
+		ob := readFile(t, other.fs, other.name+"/"+name)
+		if string(sb) != string(ob) {
+			t.Fatalf("%s differs between %s and %s after convergence (%d vs %d bytes)", name, surv.name, other.name, len(sb), len(ob))
+		}
+	}
+
+	// ---- the deposed primary (partition mode keeps a zombie alive) ---------
+	if mode != "partition" {
+		return
+	}
+	// On its side of the partition the zombie happily keeps committing:
+	// these writes are the divergent suffix, and none of them can ever be
+	// strongly acked — no follower is reachable to replicate them.
+	zc, err := bolt.Dial(p.addr) // a client stranded on the zombie's side
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zc.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := zc.RunTimeout("CREATE (n:Z)", nil, time.Second); err != nil {
+			t.Fatalf("zombie write %d: %v", i, err)
+		}
+	}
+	if p.sys.Host.Role() != hostdb.RolePrimary {
+		t.Fatalf("zombie role %v before healing", p.sys.Host.Role())
+	}
+
+	// (b) heal the partition; the first contact carrying the new epoch
+	// fences the zombie (STATUS doubles as epoch gossip).
+	nw.Heal(p.addr)
+	gz, err := bolt.DialVia(p.addr, nw.Dialer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gz.Close()
+	gz.NoteEpoch(2)
+	st, err := gz.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "fenced" || st.Epoch != 2 {
+		t.Fatalf("healed zombie status = %+v, want fenced at epoch 2", st)
+	}
+	if _, _, _, err := zc.RunTimeout("CREATE (n:Z)", nil, time.Second); err == nil {
+		t.Fatal("fenced zombie accepted a write")
+	} else if se, ok := err.(*bolt.ServerError); !ok || se.Code != bolt.FailFenced {
+		t.Fatalf("fenced zombie write err = %v, want FailFenced", err)
+	}
+
+	// Its divergent suffix is rejected if it tries to rejoin as a follower:
+	// the zombie committed past the survivor's extents on the old timeline.
+	rejoin := NewApplier(p.sys)
+	req, err := rejoin.BuildRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se := surv.src.admit(req); se == nil || se.Code != bolt.FailDiverged {
+		t.Fatalf("zombie rejoin admit = %v, want FailDiverged", se)
+	}
+}
+
+// TestReplicationChaosSeeded soaks one replication stream in rate-drawn
+// faults — RSTs, torn frames, duplicated and corrupted chunks — and asserts
+// the end state every time: the follower reconnects from its durable
+// offsets, never marks divergence for stream damage, and converges to
+// byte-identical files. Fully determined by -failover.seed.
+func TestReplicationChaosSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak needs real sockets and wall-clock backoff")
+	}
+	nw := netfault.New(*failoverSeed)
+	p := startFailNode(t, nw, "primary", false)
+	f := startFailNode(t, nw, "follower", true)
+	f.follow(t, nw, p.addr)
+
+	nw.SetRate(netfault.Drop, 0.05)
+	nw.SetRate(netfault.Truncate, 0.05)
+	nw.SetRate(netfault.Duplicate, 0.05)
+	nw.SetRate(netfault.Corrupt, 0.05)
+
+	// Commit in bursts until the fault plane has demonstrably injected
+	// damage (still deterministic per seed: the draw sequence is fixed, we
+	// only vary how long we keep feeding it).
+	id := model.NodeID(100)
+	for round := 0; ; round++ {
+		for i := 0; i < 5; i++ {
+			commitValue(t, p.sys, id, fmt.Sprintf("chaos-%d-%d", round, i))
+			id++
+		}
+		time.Sleep(10 * time.Millisecond)
+		if st := nw.Stats(); round >= 9 && (len(st.Injected) > 0 || round >= 99) {
+			break
+		}
+	}
+	// Quiesce the fault plane so the final catch-up can complete, then
+	// demand exact convergence.
+	nw.SetRate(netfault.Drop, 0)
+	nw.SetRate(netfault.Truncate, 0)
+	nw.SetRate(netfault.Duplicate, 0)
+	nw.SetRate(netfault.Corrupt, 0)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ps, pt := p.sys.Host.DurableExtents()
+		fs2, ft := f.app.Offsets()
+		if fs2 == ps && ft == pt && f.app.Watermark() >= p.sys.Host.Clock() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged after chaos: primary extents (%d,%d) role=%v epoch=%d; follower extents (%d,%d) wm=%d appErr=%v followerErr=%v",
+				ps, pt, p.sys.Host.Role(), p.sys.Host.Epoch(), fs2, ft, f.app.Watermark(), f.app.Err(), f.node.FollowerErr())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.app.Err(); err != nil {
+		t.Fatalf("stream damage poisoned the applier: %v", err)
+	}
+	for _, name := range []string{"neostore.transaction.db", "host-strings.db"} {
+		pb := readFile(t, p.fs, p.name+"/"+name)
+		fb := readFile(t, f.fs, f.name+"/"+name)
+		if string(pb) != string(fb) {
+			t.Fatalf("%s differs after chaos (%d vs %d bytes)", name, len(pb), len(fb))
+		}
+	}
+	if st := nw.Stats(); len(st.Injected) == 0 {
+		t.Fatalf("chaos soak injected no faults (ops=%d); rates never engaged", st.Ops)
+	} else {
+		t.Logf("chaos: ops=%d injected=%v severed=%d", st.Ops, st.Injected, st.Severed)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aion/internal/bolt"
+	"aion/internal/clock"
 )
 
 // Follower maintains one replication stream from a follower node to its
@@ -33,7 +34,16 @@ type Follower struct {
 
 	// Dial is replaceable in tests; nil means net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// Clock supplies the reconnect backoff sleeps; nil means the wall
+	// clock. Connection read deadlines stay on the wall clock regardless —
+	// they bound real I/O, not simulated time.
+	Clock clock.Clock
 }
+
+// ErrPromoted is the clean-stop signal: the node was promoted to primary
+// while the stream was live, so the follower loop exits without error and
+// without marking divergence.
+var ErrPromoted = errors.New("replica: node promoted; replication stream stopped")
 
 // errDiverged wraps a divergence the loop must fail-stop on instead of
 // reconnecting.
@@ -57,26 +67,29 @@ func (f *Follower) Run(ctx context.Context) error {
 	if dial == nil {
 		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
+	clk := clock.OrReal(f.Clock)
 	attempt := 0
 	for {
 		if ctx.Err() != nil {
 			return nil
+		}
+		if !f.Applier.IsReplica() {
+			return nil // promoted (or fenced) between streams: stop cleanly
 		}
 		if attempt > 0 {
 			if policy.MaxAttempts > 0 && attempt >= policy.MaxAttempts {
 				return fmt.Errorf("replica: giving up after %d consecutive connection failures", attempt)
 			}
 			f.Applier.NoteReconnect()
-			t := time.NewTimer(policy.Backoff(attempt - 1))
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return nil
-			case <-t.C:
+			if err := clk.Sleep(ctx, policy.Backoff(attempt-1)); err != nil {
+				return nil // ctx cancelled while backing off
 			}
 		}
 		attempt++
 		err := f.stream(ctx, dial)
+		if errors.Is(err, ErrPromoted) {
+			return nil
+		}
 		var div errDiverged
 		if errors.As(err, &div) {
 			f.Applier.MarkDiverged(div.err)
@@ -106,11 +119,14 @@ func (f *Follower) stream(ctx context.Context, dial func(string) (net.Conn, erro
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 
-	// HELLO handshake, then convert the connection into a replication
-	// stream with our durable resume offsets.
+	// HELLO handshake (carrying our fencing epoch, so a fenced ex-primary
+	// on the other end learns of its demotion at connect time), then
+	// convert the connection into a replication stream with our durable
+	// resume offsets and a tail digest of the bytes below them.
 	hello := []byte{bolt.MsgHello}
 	hello = append(hello, byte(len("aion-replica")))
 	hello = append(hello, "aion-replica"...)
+	hello = binary.BigEndian.AppendUint64(hello, f.Applier.Epoch())
 	if err := bolt.WriteFrame(w, hello); err != nil {
 		return err
 	}
@@ -125,8 +141,17 @@ func (f *Follower) stream(ctx context.Context, dial func(string) (net.Conn, erro
 	if len(frame) == 0 || frame[0] != bolt.MsgSuccess {
 		return fmt.Errorf("replica: handshake rejected")
 	}
-	strOff, txnOff := f.Applier.Offsets()
-	if err := bolt.WriteFrame(w, EncodeRequest(strOff, txnOff)); err != nil {
+	if len(frame) >= 9 {
+		// Admin-enabled servers echo their epoch; adopt it if higher.
+		if err := f.Applier.ObserveEpoch(binary.BigEndian.Uint64(frame[1:9])); err != nil {
+			return err
+		}
+	}
+	req, err := f.Applier.BuildRequest()
+	if err != nil {
+		return err
+	}
+	if err := bolt.WriteFrame(w, EncodeRequest(req)); err != nil {
 		return err
 	}
 	if err := w.Flush(); err != nil {
@@ -158,14 +183,39 @@ func (f *Follower) stream(ctx context.Context, dial func(string) (net.Conn, erro
 		case bolt.MsgRepBatch:
 			sh, err := DecodeShipment(frame[1:])
 			if err != nil {
-				if errors.Is(err, ErrCRC) {
-					return errDiverged{err}
-				}
+				// Decode failures (including CRC mismatches) are STREAM
+				// corruption — a fault-injected or flaky transport mangled
+				// the frame in flight. The durable files are untouched, so
+				// this is a reconnect, not divergence: the fresh stream
+				// resumes from the durable offsets and re-ships the bytes.
 				return result(err)
 			}
+			if own := f.Applier.Epoch(); sh.Epoch < own {
+				// A stale primary (pre-failover epoch) is still pushing; its
+				// log may carry a divergent suffix. Refuse without applying
+				// and reconnect — the handshake will carry our epoch and
+				// fence it.
+				return result(fmt.Errorf("replica: shipment epoch %d below own epoch %d; refusing stale primary", sh.Epoch, own))
+			} else if sh.Epoch > own {
+				if err := f.Applier.ObserveEpoch(sh.Epoch); err != nil {
+					return result(err)
+				}
+			}
+			if !f.Applier.IsReplica() {
+				return ErrPromoted
+			}
 			if err := f.Applier.Apply(sh); err != nil {
-				// Apply failures are divergence by construction (offset
-				// mismatch, replay failure): fail-stop.
+				if errors.Is(err, ErrPromoted) {
+					return ErrPromoted
+				}
+				if errors.Is(err, ErrStaleShipment) {
+					// A replayed frame (duplicated chunk): its bytes are
+					// already durable here. Skip it and keep the stream.
+					progressed = true
+					continue
+				}
+				// Any other apply failure is divergence by construction
+				// (offset gap, replay failure): fail-stop.
 				return errDiverged{err}
 			}
 			progressed = true
@@ -174,12 +224,25 @@ func (f *Follower) stream(ctx context.Context, dial func(string) (net.Conn, erro
 			if err != nil {
 				return result(err)
 			}
+			if own := f.Applier.Epoch(); hb.Epoch < own {
+				return result(fmt.Errorf("replica: heartbeat epoch %d below own epoch %d", hb.Epoch, own))
+			} else if hb.Epoch > own {
+				if err := f.Applier.ObserveEpoch(hb.Epoch); err != nil {
+					return result(err)
+				}
+			}
 			f.Applier.Note(hb)
 			progressed = true
 		case bolt.MsgFailure:
 			se := decodeFailureFrame(frame[1:])
-			if se.Code == bolt.FailDiverged {
+			switch se.Code {
+			case bolt.FailDiverged:
 				return errDiverged{se}
+			case bolt.FailFenced:
+				// The node we dialed has been fenced (it is not the primary
+				// anymore). Transient from our side: back off and redial —
+				// the operator or router will repoint us at the new primary.
+				return result(se)
 			}
 			return result(se)
 		default:

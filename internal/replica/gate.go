@@ -5,6 +5,7 @@ import (
 
 	"aion/internal/bolt"
 	"aion/internal/cypher"
+	"aion/internal/hostdb"
 	"aion/internal/model"
 )
 
@@ -58,6 +59,12 @@ func lagError(format string, args ...any) error {
 func (a *Applier) Gate(st *cypher.Statement, params map[string]model.Value) error {
 	if err := a.Err(); err != nil {
 		return &bolt.ServerError{Code: bolt.FailDiverged, Msg: err.Error()}
+	}
+	// A promoted follower is the primary now: the gate steps aside entirely
+	// and the engine serves reads and writes directly. (Fenced nodes keep
+	// the replica gating — their data is still servable read-only history.)
+	if a.sys.Host.Role() == hostdb.RolePrimary {
+		return nil
 	}
 	if cypher.IsWrite(st) {
 		return &bolt.ServerError{Code: bolt.FailReadOnly, Msg: "replica: writes must go to the primary"}

@@ -7,6 +7,7 @@ package replica
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -212,6 +213,33 @@ func TestRouterFallback(t *testing.T) {
 	}
 	if rt2.Reroutes() == 0 {
 		t.Fatal("dead-replica fallback not counted as a reroute")
+	}
+
+	// Every replica refuses — one lagged, one fail-stopped diverged — and
+	// the primary must still answer, with one reroute per refusing replica.
+	dsys := openNode(t, vfs.NewFaultFS(), "f-diverged", true)
+	defer dsys.Close()
+	dapp := NewApplier(dsys)
+	dapp.MarkDiverged(errors.New("injected divergence"))
+	_, daddr := startNode(t, dsys, bolt.Options{ReadGate: dapp.Gate, Replication: dapp})
+	rt3 := bolt.NewRouter(paddr, []string{faddr, daddr}, fastPolicy)
+	defer rt3.Close()
+	_, rows, _, err = rt3.Run("MATCH (n:P) RETURN n", nil, time.Second)
+	if err != nil {
+		t.Fatalf("read with all replicas refusing: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("primary fallback returned no rows")
+	}
+	if got := rt3.Reroutes(); got < 2 {
+		t.Fatalf("reroutes = %d, want >= 2 (every replica refused)", got)
+	}
+	// Writes never touch the refusing replicas and need no failover.
+	if _, _, _, err := rt3.Run("CREATE (n:W)", nil, time.Second); err != nil {
+		t.Fatalf("write with all replicas refusing: %v", err)
+	}
+	if rt3.Failovers() != 0 {
+		t.Fatalf("failovers = %d on a healthy primary", rt3.Failovers())
 	}
 }
 

@@ -41,6 +41,10 @@ import (
 // offset it must land at on the follower, plus the primary's durable
 // extents and clock for lag accounting.
 type Shipment struct {
+	// Epoch is the shipping primary's fencing epoch (see hostdb.Role). A
+	// follower adopts a higher epoch and refuses a lower one — a stream
+	// from a demoted primary must never extend the new timeline.
+	Epoch uint64
 	// StrOff is the string-table offset the Strings chunk starts at; it
 	// must equal the follower's current string-table size.
 	StrOff  int64
@@ -64,11 +68,33 @@ type Shipment struct {
 func (sh *Shipment) Empty() bool { return len(sh.Strings) == 0 && len(sh.Frames) == 0 }
 
 // Heartbeat is the keepalive a primary sends when it has nothing to ship:
-// its durable extents and clock, from which the follower computes its lag.
+// its durable extents and clock, from which the follower computes its lag,
+// plus its fencing epoch.
 type Heartbeat struct {
+	Epoch      uint64
 	StrDurable int64
 	TxnDurable int64
 	LatestTS   model.Timestamp
+}
+
+// Request is the body of the MsgReplicate frame a follower sends to start
+// (or resume) a stream: its durable resume offsets, the highest epoch it
+// has observed, and a digest of the tail bytes below those offsets.
+//
+// The tail digest closes the rejoin hole the offsets alone leave open: a
+// demoted primary's files can have plausible lengths while holding a
+// DIFFERENT suffix than the new timeline (the commits it acked alone just
+// before being fenced). The serving primary recomputes the CRCs over the
+// same ranges of its own files — which every legitimate follower's files
+// are a byte prefix of — and a mismatch is proof of divergence, answered
+// with FailDiverged before a single byte is shipped.
+type Request struct {
+	StrOff, TxnOff int64
+	Epoch          uint64
+	// StrTailLen bytes ending at StrOff hash to StrTailCRC; likewise for
+	// the transaction log. Zero lengths skip the check (empty files).
+	StrTailLen, TxnTailLen int64
+	StrTailCRC, TxnTailCRC uint32
 }
 
 // --- wire encoding ----------------------------------------------------------
@@ -79,24 +105,49 @@ type Heartbeat struct {
 // in offset bookkeeping before anything touches the follower's files.
 
 // EncodeRequest encodes the MsgReplicate frame a follower sends to start
-// (or resume) the stream: its durable string-table and txn-log extents.
-func EncodeRequest(strOff, txnOff int64) []byte {
+// (or resume) the stream.
+func EncodeRequest(req Request) []byte {
 	b := []byte{bolt.MsgReplicate}
-	b = binary.AppendUvarint(b, uint64(strOff))
-	return binary.AppendUvarint(b, uint64(txnOff))
+	b = binary.AppendUvarint(b, uint64(req.StrOff))
+	b = binary.AppendUvarint(b, uint64(req.TxnOff))
+	b = binary.AppendUvarint(b, req.Epoch)
+	b = binary.AppendUvarint(b, uint64(req.StrTailLen))
+	b = binary.LittleEndian.AppendUint32(b, req.StrTailCRC)
+	b = binary.AppendUvarint(b, uint64(req.TxnTailLen))
+	return binary.LittleEndian.AppendUint32(b, req.TxnTailCRC)
 }
 
 // DecodeRequest parses a MsgReplicate frame body (after the message byte).
-func DecodeRequest(b []byte) (strOff, txnOff int64, err error) {
-	s, w := binary.Uvarint(b)
-	if w <= 0 {
-		return 0, 0, fmt.Errorf("replica: bad replicate request")
+func DecodeRequest(b []byte) (Request, error) {
+	var req Request
+	var err error
+	if req.StrOff, b, err = uvarint(b); err != nil {
+		return req, fmt.Errorf("replica: bad replicate request")
 	}
-	t, w2 := binary.Uvarint(b[w:])
-	if w2 <= 0 {
-		return 0, 0, fmt.Errorf("replica: bad replicate request")
+	if req.TxnOff, b, err = uvarint(b); err != nil {
+		return req, fmt.Errorf("replica: bad replicate request")
 	}
-	return int64(s), int64(t), nil
+	var epoch int64
+	if epoch, b, err = uvarint(b); err != nil {
+		return req, fmt.Errorf("replica: bad replicate request")
+	}
+	req.Epoch = uint64(epoch)
+	if req.StrTailLen, b, err = uvarint(b); err != nil {
+		return req, fmt.Errorf("replica: bad replicate request")
+	}
+	if len(b) < 4 {
+		return req, fmt.Errorf("replica: bad replicate request")
+	}
+	req.StrTailCRC = binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if req.TxnTailLen, b, err = uvarint(b); err != nil {
+		return req, fmt.Errorf("replica: bad replicate request")
+	}
+	if len(b) < 4 {
+		return req, fmt.Errorf("replica: bad replicate request")
+	}
+	req.TxnTailCRC = binary.LittleEndian.Uint32(b)
+	return req, nil
 }
 
 // EncodeShipment encodes a MsgRepBatch frame.
@@ -107,6 +158,7 @@ func EncodeShipment(sh *Shipment) []byte {
 	}
 	b := make([]byte, 0, n)
 	b = append(b, bolt.MsgRepBatch)
+	b = binary.AppendUvarint(b, sh.Epoch)
 	b = binary.AppendUvarint(b, uint64(sh.StrOff))
 	b = binary.AppendUvarint(b, uint64(len(sh.Strings)))
 	b = append(b, sh.Strings...)
@@ -142,6 +194,11 @@ func uvarint(b []byte) (int64, []byte, error) {
 func DecodeShipment(b []byte) (*Shipment, error) {
 	sh := &Shipment{}
 	var err error
+	var epoch int64
+	if epoch, b, err = uvarint(b); err != nil {
+		return nil, err
+	}
+	sh.Epoch = uint64(epoch)
 	if sh.StrOff, b, err = uvarint(b); err != nil {
 		return nil, err
 	}
@@ -202,6 +259,7 @@ func DecodeShipment(b []byte) (*Shipment, error) {
 // EncodeHeartbeat encodes a MsgRepHeartbeat frame.
 func EncodeHeartbeat(hb Heartbeat) []byte {
 	b := []byte{bolt.MsgRepHeartbeat}
+	b = binary.AppendUvarint(b, hb.Epoch)
 	b = binary.AppendUvarint(b, uint64(hb.StrDurable))
 	b = binary.AppendUvarint(b, uint64(hb.TxnDurable))
 	return binary.AppendUvarint(b, uint64(hb.LatestTS))
@@ -211,6 +269,11 @@ func EncodeHeartbeat(hb Heartbeat) []byte {
 func DecodeHeartbeat(b []byte) (Heartbeat, error) {
 	var hb Heartbeat
 	var err error
+	var epoch int64
+	if epoch, b, err = uvarint(b); err != nil {
+		return hb, err
+	}
+	hb.Epoch = uint64(epoch)
 	if hb.StrDurable, b, err = uvarint(b); err != nil {
 		return hb, err
 	}

@@ -126,16 +126,18 @@ func TestShipmentCodecRoundtrip(t *testing.T) {
 			t.Fatalf("corruption at %d undetected", corrupt)
 		}
 	}
-	hb := Heartbeat{StrDurable: 1, TxnDurable: 2, LatestTS: 3}
+	hb := Heartbeat{Epoch: 5, StrDurable: 1, TxnDurable: 2, LatestTS: 3}
 	hbb := EncodeHeartbeat(hb)
 	got2, err := DecodeHeartbeat(hbb[1:])
 	if err != nil || got2 != hb {
 		t.Fatalf("heartbeat roundtrip: %+v %v", got2, err)
 	}
-	reqb := EncodeRequest(7, 9)
-	so, to, err := DecodeRequest(reqb[1:])
-	if err != nil || so != 7 || to != 9 {
-		t.Fatalf("request roundtrip: %d %d %v", so, to, err)
+	req := Request{StrOff: 7, TxnOff: 9, Epoch: 3,
+		StrTailLen: 7, TxnTailLen: 9, StrTailCRC: 0xdeadbeef, TxnTailCRC: 0x1234}
+	reqb := EncodeRequest(req)
+	got3, err := DecodeRequest(reqb[1:])
+	if err != nil || got3 != req {
+		t.Fatalf("request roundtrip: %+v %v", got3, err)
 	}
 }
 

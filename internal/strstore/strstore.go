@@ -244,6 +244,30 @@ func (st *Store) SyncedSize() int64 {
 	return st.synced
 }
 
+// ReadRange returns the exact bytes [from, to) of the backing file. The
+// range must lie within the synced extent; unlike ReadRaw it is not
+// record-aligned — tail-CRC verification compares positional bytes across
+// nodes, so alignment is irrelevant.
+func (st *Store) ReadRange(from, to int64) ([]byte, error) {
+	st.mu.Lock()
+	synced := st.synced
+	f := st.f
+	st.mu.Unlock()
+	if f == nil {
+		return nil, errors.New("strstore: in-memory store has no raw bytes")
+	}
+	if from < 0 || from > to || to > synced {
+		return nil, fmt.Errorf("strstore: range [%d,%d) outside durable extent %d", from, to, synced)
+	}
+	buf := make([]byte, to-from)
+	if to > from {
+		if _, err := f.ReadAt(buf, from); err != nil {
+			return nil, fmt.Errorf("strstore: range read at %d: %w", from, err)
+		}
+	}
+	return buf, nil
+}
+
 // ReadRaw returns up to max bytes of whole records starting at byte offset
 // off in the backing file. The returned chunk always ends on a record
 // boundary; a single record larger than max is returned whole so a reader

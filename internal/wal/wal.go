@@ -196,6 +196,24 @@ func (l *Log) AppendBatch(payloads [][]byte) ([]int64, error) {
 	return offs, nil
 }
 
+// ReadRange returns the exact bytes [from, to) of the log file — headers
+// and payloads alike, no record alignment. The range must lie within the
+// fsync-covered extent: replication's tail-CRC verification compares these
+// bytes positionally across nodes, and only durable bytes are comparable.
+func (l *Log) ReadRange(from, to int64) ([]byte, error) {
+	durable := l.SyncedSize()
+	if from < 0 || from > to || to > durable {
+		return nil, fmt.Errorf("wal: range [%d,%d) outside durable extent %d", from, to, durable)
+	}
+	buf := make([]byte, to-from)
+	if to > from {
+		if _, err := l.f.ReadAt(buf, from); err != nil {
+			return nil, fmt.Errorf("wal: range read at %d: %w", from, err)
+		}
+	}
+	return buf, nil
+}
+
 // ReadAt returns the record stored at the given offset.
 func (l *Log) ReadAt(off int64) ([]byte, error) {
 	payload, _, err := l.readAt(off)
