@@ -17,10 +17,14 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzer suite (cmd/aionlint): vfs-seam, dropped
-# durability errors, cancellation-blind loops, fsync-under-lock. Fails on
-# any unsuppressed finding; see README for the suppression syntax.
+# durability errors, cancellation-blind loops, fsync-under-lock, plus the
+# flow-aware layer — mixed atomics, lock-order cycles, string-flush
+# ordering before WAL appends, leak-shaped goroutines. Fails on any
+# unsuppressed finding; see README for the suppression syntax. The full
+# -v report (findings, suppressions with reasons, per-analyzer timings)
+# lands in aionlint.txt, the CI-visible artifact.
 lint:
-	$(GO) run ./cmd/aionlint
+	$(GO) run ./cmd/aionlint -v > aionlint.txt 2>&1; s=$$?; cat aionlint.txt; exit $$s
 
 # Atomic-mode coverage over internal/; the per-package breakdown is the
 # CI-visible artifact.

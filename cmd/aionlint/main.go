@@ -2,7 +2,9 @@
 // (internal/lint) over the Aion tree. It exists because the invariants
 // the crash sweeps and the serving contract depend on — vfs-seam-only
 // I/O, fail-stop durability errors, cancellable scan loops, no fsync
-// under a lock — are system-wide conventions no compiler checks.
+// under a lock, unmixed atomics, acyclic lock order, strings-before-WAL
+// flush ordering, exit-aware goroutines — are system-wide conventions no
+// compiler checks.
 //
 // Usage:
 //
@@ -11,7 +13,13 @@
 // Patterns default to ./internal/... ./cmd/... and are interpreted
 // relative to the module root (found by walking up from -root). The exit
 // status is 0 when the tree is clean, 1 when any unsuppressed finding or
-// type-check failure remains, and 2 on a driver error.
+// type-check failure remains, and 2 on a driver error (including packages
+// that fail to parse or load; the error names the offending position).
+//
+// The module is parsed and type-checked exactly once; every analyzer —
+// and the shared flow layer the flow-aware ones use — works off that one
+// load. -v prints per-analyzer wall-clock timings alongside suppressed
+// findings.
 //
 // Suppress an individual finding, with a reason, on the offending line
 // or the line above it:
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aion/internal/lint"
 )
@@ -31,9 +40,19 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (status int) {
+	// A load or analysis panic must not take the CI step down with a
+	// stack trace as its only output: fold it into the driver-error exit
+	// code with a message.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "aionlint: internal error: %v\n", r)
+			status = 2
+		}
+	}()
+
 	root := flag.String("root", ".", "directory inside the module to lint")
-	verbose := flag.Bool("v", false, "also list suppressed findings and their reasons")
+	verbose := flag.Bool("v", false, "also list suppressed findings, their reasons, and per-analyzer timings")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	codes := flag.String("analyzers", "", "comma-separated analyzer codes to run (default: all)")
 	flag.Parse()
@@ -56,6 +75,7 @@ func run() int {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
 
+	loadStart := time.Now()
 	loader, err := lint.NewLoader(*root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -66,6 +86,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	loadDur := time.Since(loadStart)
 
 	// Type-check failures degrade the analyzers to syntactic heuristics,
 	// so they fail the run: a lint pass that silently lost its type
@@ -78,7 +99,7 @@ func run() int {
 		}
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	findings, timings := lint.RunTimed(pkgs, analyzers)
 	suppressed := 0
 	for _, f := range findings {
 		if f.Suppressed {
@@ -89,6 +110,13 @@ func run() int {
 			continue
 		}
 		fmt.Println(f)
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "aionlint: load+typecheck %v (shared across all analyzers)\n", loadDur.Round(time.Millisecond))
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "aionlint: %-10s %v\n", t.Code, t.Dur.Round(time.Millisecond))
+		}
 	}
 
 	bad := lint.Unsuppressed(findings)

@@ -5,8 +5,27 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
+
+// The whole test binary shares one Loader: the module is parsed and
+// type-checked once and every corpus (plus the full-tree integration
+// test) reuses that cache, mirroring the driver's load-once contract.
+var (
+	loaderOnce sync.Once
+	sharedL    *Loader
+	sharedErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedL, sharedErr = NewLoader(".") })
+	if sharedErr != nil {
+		t.Fatalf("NewLoader: %v", sharedErr)
+	}
+	return sharedL
+}
 
 // The corpus under testdata/ annotates expected findings with marker
 // comments: `// want <tok>...` expects findings on the marker's own line,
@@ -25,10 +44,7 @@ type expect struct {
 
 func loadCorpus(t *testing.T, sub string) *Package {
 	t.Helper()
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
-	}
+	l := testLoader(t)
 	dir := filepath.Join("testdata", filepath.FromSlash(sub))
 	p, err := l.LoadDirAs(dir, "testdata/"+sub)
 	if err != nil {
@@ -104,31 +120,51 @@ func TestErrDropCorpus(t *testing.T) { checkCorpus(t, "errdrop/wal", []*Analyzer
 func TestCtxLoopCorpus(t *testing.T) { checkCorpus(t, "ctxloop/bolt", []*Analyzer{CtxLoop}) }
 func TestLockIOCorpus(t *testing.T)  { checkCorpus(t, "lockio/store", []*Analyzer{LockIO}) }
 
+// The flow-aware analyzers: atomicmix and flushorder each reproduce a
+// previously-shipped bug shape (the group-commit mixed counter; the PR 6
+// encode-then-append-without-Flush recovery bug, against the real wal,
+// strstore and enc packages).
+func TestAtomicMixCorpus(t *testing.T)  { checkCorpus(t, "atomicmix/store", []*Analyzer{AtomicMix}) }
+func TestLockOrderCorpus(t *testing.T)  { checkCorpus(t, "lockorder/store", []*Analyzer{LockOrder}) }
+func TestFlushOrderCorpus(t *testing.T) { checkCorpus(t, "flushorder/store", []*Analyzer{FlushOrder}) }
+func TestGoLeakCorpus(t *testing.T)     { checkCorpus(t, "goleak/bolt", []*Analyzer{GoLeak}) }
+
 // Directive validation runs with no analyzers at all: malformed
 // suppressions are findings in their own right.
 func TestIgnoreDirectives(t *testing.T) { checkCorpus(t, "ignore", nil) }
 
+// Stale-suppression detection only arms when the full suite runs: a
+// directive that muted nothing is reported so dead escapes cannot
+// accumulate.
+func TestStaleSuppression(t *testing.T) { checkCorpus(t, "stale", All()) }
+
 // The package gates must hold: the same corpus loaded under an import
 // path with no watched segment produces nothing.
 func TestPackageGates(t *testing.T) {
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
-	}
+	l := testLoader(t)
 	cases := []struct {
 		dir string
+		as  string
 		az  *Analyzer
 	}{
-		{"errdrop/wal", ErrDrop},
-		{"ctxloop/bolt", CtxLoop},
+		{"errdrop/wal", "testdata/ungated/corpus1", ErrDrop},
+		{"ctxloop/bolt", "testdata/ungated/corpus2", CtxLoop},
+		// goleak shares ctxloop's serving-path gate.
+		{"goleak/bolt", "testdata/ungated/corpus3", GoLeak},
 	}
 	for _, c := range cases {
-		p, err := l.LoadDirAs(filepath.Join("testdata", filepath.FromSlash(c.dir)), "testdata/ungated/corpus")
+		p, err := l.LoadDirAs(filepath.Join("testdata", filepath.FromSlash(c.dir)), c.as)
 		if err != nil {
 			t.Fatalf("load %s: %v", c.dir, err)
 		}
-		if fs := c.az.Run(p); len(fs) != 0 {
-			t.Errorf("%s: %s reported %d finding(s) on an unwatched import path; gate is broken", c.dir, c.az.Code, len(fs))
+		var unsup int
+		for _, f := range Run([]*Package{p}, []*Analyzer{c.az}) {
+			if !f.Suppressed {
+				unsup++
+			}
+		}
+		if unsup != 0 {
+			t.Errorf("%s: %s reported %d finding(s) on an unwatched import path; gate is broken", c.dir, c.az.Code, unsup)
 		}
 	}
 	// vfsseam gates the other way: it is silent inside the vfs package.
@@ -138,6 +174,18 @@ func TestPackageGates(t *testing.T) {
 	}
 	if fs := VFSSeam.Run(p); len(fs) != 0 {
 		t.Errorf("vfsseam reported %d finding(s) inside a vfs package", len(fs))
+	}
+}
+
+// A package that fails to parse must come back as an error naming the
+// offending file position — never a panic, never a silent skip.
+func TestLoadErrorPosition(t *testing.T) {
+	_, err := testLoader(t).LoadDirAs(filepath.Join("testdata", "broken"), "testdata/broken")
+	if err == nil {
+		t.Fatal("loading testdata/broken succeeded; want a parse error")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("load error %q does not name the offending file", err)
 	}
 }
 
@@ -161,11 +209,7 @@ func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-tree lint is slow; skipped in -short mode")
 	}
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
-	}
-	pkgs, err := l.Load([]string{"./internal/...", "./cmd/..."})
+	pkgs, err := testLoader(t).Load([]string{"./internal/...", "./cmd/..."})
 	if err != nil {
 		t.Fatalf("load tree: %v", err)
 	}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// FlushOrder generalizes the PR 6 recovery bug into a checked invariant.
+// The bug: string-table writes buffer in user space (bufio) while WAL
+// appends hit the page cache directly, so a process crash (kill -9, which
+// keeps completed writes but drops user-space buffers) could persist log
+// records whose string refs dangle — "strstore: dangling ref" on recovery.
+// The fix, and now the rule: any path that interns strings and then
+// appends to a wal.Log must flush the string table between the intern and
+// the append.
+//
+// The analyzer runs the rule interprocedurally: the effect summaries say,
+// for every function, whether it may intern (directly or via the enc
+// codec's encoders), whether it flushes, and whether it can reach a WAL
+// append with no flush since entry. A finding fires where the violation
+// becomes definite — the call site that appends (or calls into an
+// appending function) while freshly interned strings are provably
+// unflushed on the current path.
+var FlushOrder = &Analyzer{
+	Code:    "flushorder",
+	Doc:     "WAL appends that can reference freshly interned strings must be dominated by a string-table Flush",
+	RunFlow: runFlushOrder,
+}
+
+func runFlushOrder(fl *Flow) []Finding {
+	infos := make([]*FuncInfo, 0, len(fl.Funcs))
+	for _, fi := range fl.Funcs {
+		if fl.InTarget(fi.Pkg) {
+			infos = append(infos, fi)
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Obj.Pos() < infos[j].Obj.Pos() })
+
+	var out []Finding
+	for _, fi := range infos {
+		fi := fi
+		fl.foScan(fi, func(c FlowCall, via *types.Func) {
+			msg := "WAL append while freshly interned strings are unflushed; call the string table's Flush first (a process crash here persists log records with dangling refs)"
+			if via != nil && foClassify(via) == foEvNone {
+				msg = fmt.Sprintf("call to %s appends to the WAL while freshly interned strings are unflushed; Flush the string table first (a process crash persists log records with dangling refs)",
+					fl.Funcs[via].Name())
+			}
+			out = append(out, Finding{
+				Pos:     fi.Pkg.Fset.Position(c.Pos),
+				Code:    "flushorder",
+				Message: msg,
+			})
+		})
+	}
+	return out
+}

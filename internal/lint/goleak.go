@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak guards the serving path's goroutine hygiene: a goroutine launched
+// from a ctx-taking serving-path function must have a visible exit path —
+// it observes a context, selects, receives from (or ranges over) a
+// channel, directly or in the functions it calls. What it must never do is
+// spin in a bare condition-less for loop with no way out: that goroutine
+// outlives the request, the drain, and the server, burning a core forever.
+// The gate matches ctxloop's: only the serving-path packages, and only
+// goroutines launched from functions that take a context.Context (a
+// function that was handed a ctx has both the duty and the means to bound
+// its children's lifetimes). Legitimate exceptions carry
+// `//aionlint:ignore goleak <reason>`.
+var GoLeak = &Analyzer{
+	Code:    "goleak",
+	Doc:     "goroutines launched from ctx-taking serving-path functions must have a visible exit path",
+	RunFlow: runGoLeak,
+}
+
+func runGoLeak(fl *Flow) []Finding {
+	var out []Finding
+	for _, p := range fl.Targets {
+		if !p.hasAnySegment(ctxLoopPackages...) {
+			continue
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				fn, ok := n.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					return true
+				}
+				if len(ctxParams(p, fn)) == 0 {
+					return true
+				}
+				fi := fl.Funcs[funcObj(p, fn)]
+				if fi == nil {
+					return true
+				}
+				out = append(out, checkSpawns(fl, fi)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkSpawns inspects every `go` statement in fi for a leak-shaped body.
+func checkSpawns(fl *Flow, fi *FuncInfo) []Finding {
+	p := fi.Pkg
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		leak := false
+		what := ""
+		if lit, isLit := gs.Call.Fun.(*ast.FuncLit); isLit {
+			leak = litLoopsForever(fl, fi, lit)
+			what = "goroutine literal"
+		} else {
+			// Named spawn: judge the callee's transitive effect summary.
+			for _, c := range fi.Calls {
+				if c.Site != gs.Call {
+					continue
+				}
+				for _, t := range c.Targets {
+					eff := fl.Effects(t)
+					if eff.LoopForever && !eff.ExitAware {
+						leak = true
+						what = fl.Funcs[t].Name()
+					}
+				}
+			}
+		}
+		if leak {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(gs.Pos()),
+				Code: "goleak",
+				Message: fmt.Sprintf("%s launched from %s loops forever with no visible exit path; select on ctx.Done() or a close-able channel (or suppress with //aionlint:ignore goleak <reason>)",
+					what, fi.Name()),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// litLoopsForever decides whether a goroutine literal's body can spin
+// forever: it contains a condition-less loop with no local way out, and
+// none of the functions it calls observes an exit signal either.
+func litLoopsForever(fl *Flow, fi *FuncInfo, lit *ast.FuncLit) bool {
+	p := fi.Pkg
+	if !localForeverLoop(p, lit.Body) {
+		return false
+	}
+	// The loop itself has no exit; a called function observing ctx or a
+	// channel inside the loop body would have cleared it via
+	// loopHasExit's ident check only for direct ctx references — consult
+	// the callees' effects for delegated exit-awareness.
+	exitViaCallee := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if exitViaCallee {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, c := range fi.Calls {
+			if c.Site != call {
+				continue
+			}
+			for _, t := range c.Targets {
+				if fl.Effects(t).ExitAware {
+					exitViaCallee = true
+				}
+			}
+		}
+		return !exitViaCallee
+	})
+	return !exitViaCallee
+}
+
+// funcObj resolves a declaration to its canonical function object.
+func funcObj(p *Package, fn *ast.FuncDecl) *types.Func {
+	if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok && obj != nil {
+		return obj.Origin()
+	}
+	return nil
+}

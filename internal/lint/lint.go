@@ -18,6 +18,22 @@
 //     the same function is held — disk I/O under a lock is how the
 //     single-writer engine stalls readers.
 //
+// On top of those per-function rules sits a flow-aware layer (flow.go): an
+// intra-module call graph, a per-field access index, and bottom-up effect
+// summaries, shared by four whole-module analyzers:
+//
+//   - atomicmix: a field accessed via sync/atomic anywhere is never read
+//     or written plainly elsewhere — mixed access is a data race even when
+//     the plain side holds a mutex.
+//   - lockorder: the mutex acquisition graph across call edges is acyclic;
+//     a cycle is a potential lock-order deadlock.
+//   - flushorder: every path appending records that reference freshly
+//     interned strings to a WAL is dominated by a string-table Flush — the
+//     PR 6 dangling-ref recovery bug class, generalized.
+//   - goleak: goroutines launched from ctx-taking serving-path functions
+//     have a visible exit path (ctx, select, channel), never a bare
+//     condition-less spin loop.
+//
 // Findings carry stable analyzer codes and can be suppressed, with a
 // mandatory reason, by a comment on the offending line or the line above:
 //
@@ -34,6 +50,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one rule violation at a position.
@@ -51,18 +68,22 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Message)
 }
 
-// An Analyzer is one named rule. Run inspects a single type-checked
-// package and returns raw findings; suppression handling and sorting are
-// the driver's job (Run on a Suite).
+// An Analyzer is one named rule. Per-package analyzers set Run, which
+// inspects a single type-checked package; flow-aware analyzers set
+// RunFlow, which sees the shared whole-module Flow layer (call graph,
+// field index, effect summaries) built once per lint run. Suppression
+// handling and sorting are the driver's job (Run on a Suite).
 type Analyzer struct {
-	Code string // stable short code used in findings and ignore directives
-	Doc  string // one-line description for -list output
-	Run  func(p *Package) []Finding
+	Code    string // stable short code used in findings and ignore directives
+	Doc     string // one-line description for -list output
+	Run     func(p *Package) []Finding
+	RunFlow func(fl *Flow) []Finding
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite, sorted by code so listings and CI
+// diffs are stable.
 func All() []*Analyzer {
-	return []*Analyzer{VFSSeam, ErrDrop, CtxLoop, LockIO}
+	return []*Analyzer{AtomicMix, CtxLoop, ErrDrop, FlushOrder, GoLeak, LockIO, LockOrder, VFSSeam}
 }
 
 // ByCode resolves a comma-separated code list against the full suite.
@@ -86,28 +107,89 @@ func ByCode(codes string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// A Timing is one analyzer's wall-clock cost in a run, for -v output.
+type Timing struct {
+	Code string
+	Dur  time.Duration
+}
+
 // Run applies the analyzers to every package, resolves suppression
 // directives, and returns all findings (suppressed ones included, marked)
 // sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	fs, _ := RunTimed(pkgs, analyzers)
+	return fs
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings. The module is
+// type-checked once by the Loader and the flow layer is built once here;
+// every analyzer shares both, so the timings measure pure analysis.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Code] = true
 	}
+
+	// Collect suppression directives across every package up front: flow
+	// analyzers report findings anywhere in the target set, so matching
+	// cannot be per-package.
+	var dirs directiveSet
 	var out []Finding
 	for _, p := range pkgs {
-		dirs, bad := directives(p, known)
+		ds, bad := directives(p, known)
+		dirs = append(dirs, ds...)
 		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if d := dirs.match(f); d != nil {
-					f.Suppressed = true
-					f.SuppressReason = d.reason
-				}
-				out = append(out, f)
+	}
+
+	// Build the shared flow layer once if any analyzer needs it.
+	var fl *Flow
+	for _, a := range analyzers {
+		if a.RunFlow != nil {
+			fl = NewFlow(pkgs)
+			break
+		}
+	}
+
+	matched := make(map[*directive]bool)
+	var timings []Timing
+	for _, a := range analyzers {
+		start := time.Now()
+		var fs []Finding
+		if a.RunFlow != nil {
+			fs = a.RunFlow(fl)
+		} else {
+			for _, p := range pkgs {
+				fs = append(fs, a.Run(p)...)
+			}
+		}
+		for _, f := range fs {
+			if d := dirs.match(f); d != nil {
+				f.Suppressed = true
+				f.SuppressReason = d.reason
+				matched[d] = true
+			}
+			out = append(out, f)
+		}
+		timings = append(timings, Timing{Code: a.Code, Dur: time.Since(start)})
+	}
+
+	// When the full suite ran, a directive that suppressed nothing is
+	// stale: the finding it once muted is gone (or its analyzer changed),
+	// and a dead escape hatch only invites drift. Partial runs skip this —
+	// a vfsseam directive is legitimately idle under -analyzers lockio.
+	if coversAll(analyzers) {
+		for i := range dirs {
+			d := &dirs[i]
+			if !matched[d] {
+				out = append(out, Finding{
+					Pos:     token.Position{Filename: d.file, Line: d.line},
+					Code:    "ignore",
+					Message: fmt.Sprintf("suppression of %s matches no finding; the directive is stale — remove it", d.code),
+				})
 			}
 		}
 	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -121,7 +203,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Code < b.Code
 	})
-	return out
+	return out, timings
+}
+
+// coversAll reports whether the analyzer set is the complete suite.
+func coversAll(analyzers []*Analyzer) bool {
+	have := make(map[string]bool)
+	for _, a := range analyzers {
+		have[a.Code] = true
+	}
+	for _, a := range All() {
+		if !have[a.Code] {
+			return false
+		}
+	}
+	return true
 }
 
 // Unsuppressed counts the findings that should fail a lint run.

@@ -26,6 +26,10 @@ type Package struct {
 	// driver surfaces these so a broken load cannot masquerade as a clean
 	// lint run.
 	TypeErrors []error
+
+	// loader is the Loader that produced this package; the flow layer uses
+	// it to reach every other module-internal package the load pulled in.
+	loader *Loader
 }
 
 // Loader parses and type-checks packages of one module using only the
@@ -200,7 +204,7 @@ func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
-	p := &Package{ImportPath: importPath, Dir: dir, Fset: l.Fset}
+	p := &Package{ImportPath: importPath, Dir: dir, Fset: l.Fset, loader: l}
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
@@ -235,6 +239,18 @@ func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
 	p.Pkg, _ = conf.Check(importPath, l.Fset, p.Files, p.Info)
 	l.loaded[importPath] = p
 	return p, nil
+}
+
+// Loaded returns every package this loader has parsed and type-checked —
+// the requested ones plus their transitively imported module-internal
+// dependencies — sorted by import path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.loaded))
+	for _, p := range l.loaded {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
 }
 
 // loaderImporter routes module-internal imports back through the Loader

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module's mutex acquisition graph — an edge A -> B
+// whenever B is acquired while A is held, in one function or across a call
+// chain (f holds A and calls g, whose effect summary says g may acquire B)
+// — and flags every cycle. A cycle means two code paths can take the same
+// pair of locks in opposite orders, which is a deadlock waiting for the
+// right interleaving; the fix is a global acquisition order. Locks are
+// identified at the type level ("hostdb.DB.mu"), so two instances of the
+// same struct count as the same lock: nesting those also needs an explicit
+// order (by address, by role) that the analyzer cannot see, so it is
+// flagged too and can carry a reasoned suppression.
+//
+// The report is deterministic: cycles are discovered over sorted nodes and
+// edges, rendered smallest-lock-first, and anchored at the earliest
+// acquisition site participating in the cycle.
+var LockOrder = &Analyzer{
+	Code:    "lockorder",
+	Doc:     "the cross-function mutex acquisition graph must be acyclic (no lock-order deadlocks)",
+	RunFlow: runLockOrder,
+}
+
+// lockEdge is one observed "B acquired while A held" event.
+type lockEdge struct {
+	pos token.Pos
+	pkg *Package
+	fn  string // enclosing function, for the message
+	via string // callee name when the edge crosses a call, else ""
+}
+
+func runLockOrder(fl *Flow) []Finding {
+	// edges[a][b] = the earliest-witnessed acquisition of b while a held.
+	edges := make(map[string]map[string]lockEdge)
+	addEdge := func(a, b string, e lockEdge) {
+		if a == b && e.via == "" {
+			// Direct same-ID nesting inside one function is almost always
+			// two instances locked deliberately (or a bug the race
+			// detector finds immediately); only cross-call re-entry and
+			// multi-lock cycles are flow-level information.
+			return
+		}
+		m := edges[a]
+		if m == nil {
+			m = make(map[string]lockEdge)
+			edges[a] = m
+		}
+		old, ok := m[b]
+		if !ok || e.pkg.Fset.Position(e.pos).String() < old.pkg.Fset.Position(old.pos).String() {
+			m[b] = e
+		}
+	}
+
+	// Deterministic function order.
+	infos := make([]*FuncInfo, 0, len(fl.Funcs))
+	for _, fi := range fl.Funcs {
+		infos = append(infos, fi)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Obj.Pos() < infos[j].Obj.Pos() })
+
+	for _, fi := range infos {
+		collectLockEdges(fl, fi, addEdge)
+	}
+
+	var out []Finding
+	for _, cyc := range lockCycles(edges) {
+		// Render the cycle and anchor the finding at its earliest edge
+		// site that falls in a target package.
+		var anchor *lockEdge
+		var hops []string
+		for i := range cyc {
+			a, b := cyc[i], cyc[(i+1)%len(cyc)]
+			e, ok := edges[a][b]
+			if !ok {
+				continue // fallback SCC rendering: not every pair is an edge
+			}
+			site := e.pkg.Fset.Position(e.pos)
+			via := ""
+			if e.via != "" {
+				via = " via " + e.via
+			}
+			hops = append(hops, fmt.Sprintf("%s -> %s (in %s%s at %s:%d)", a, b, e.fn, via, site.Filename, site.Line))
+			if fl.InTarget(e.pkg) && (anchor == nil ||
+				e.pkg.Fset.Position(e.pos).String() < anchor.pkg.Fset.Position(anchor.pos).String()) {
+				ec := e
+				anchor = &ec
+			}
+		}
+		if anchor == nil {
+			continue // cycle lives entirely outside the linted packages
+		}
+		out = append(out, Finding{
+			Pos:  anchor.pkg.Fset.Position(anchor.pos),
+			Code: "lockorder",
+			Message: fmt.Sprintf("lock-order cycle: %s; pick one global acquisition order",
+				strings.Join(hops, "; ")),
+		})
+	}
+	return out
+}
+
+// collectLockEdges scans one function in source order tracking held locks
+// (keyed per receiver expression, so s.mu and t.mu are distinct holds) and
+// emits edges for nested direct acquisitions and for calls into functions
+// whose effects acquire locks.
+func collectLockEdges(fl *Flow, fi *FuncInfo, addEdge func(a, b string, e lockEdge)) {
+	p := fi.Pkg
+	type heldLock struct{ id string }
+	held := make(map[string]heldLock) // expr key -> lock id
+
+	var walk func(n ast.Node, spawned bool)
+	walk = func(n ast.Node, spawned bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				// The spawned goroutine starts with no locks held; its own
+				// body still contributes edges (empty initial held set).
+				for _, arg := range m.Call.Args {
+					walk(arg, spawned)
+				}
+				if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					saved := held
+					held = make(map[string]heldLock)
+					walk(lit.Body, true)
+					held = saved
+				}
+				return false
+			case *ast.FuncLit:
+				// Non-goroutine literal: modeled as running inline.
+				return true
+			case *ast.DeferStmt:
+				if sel, ok := m.Call.Fun.(*ast.SelectorExpr); ok && isMutexMethod(p, sel) {
+					return false // deferred Unlock: held to function end
+				}
+				return true
+			case *ast.CallExpr:
+				sel, isSel := m.Fun.(*ast.SelectorExpr)
+				if isSel && isMutexMethod(p, sel) {
+					key := exprString(sel.X)
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						id := mutexID(p, sel)
+						if id != "" {
+							for _, h := range held {
+								addEdge(h.id, id, lockEdge{pos: m.Pos(), pkg: p, fn: fi.Name()})
+							}
+						}
+						held[key] = heldLock{id: id}
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				// A call made under held locks: every lock the callee may
+				// acquire nests under every lock currently held.
+				for _, c := range callTargets(fl, fi, m) {
+					eff := fl.effects[c]
+					if eff == nil || len(eff.Locks) == 0 {
+						continue
+					}
+					callee := fl.Funcs[c].Name()
+					ids := make([]string, 0, len(eff.Locks))
+					for id := range eff.Locks {
+						ids = append(ids, id)
+					}
+					sort.Strings(ids)
+					for _, h := range held {
+						if h.id == "" {
+							continue
+						}
+						for _, id := range ids {
+							addEdge(h.id, id, lockEdge{pos: m.Pos(), pkg: p, fn: fi.Name(), via: callee})
+						}
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body, false)
+}
+
+// callTargets finds the resolved targets recorded for this call site.
+func callTargets(fl *Flow, fi *FuncInfo, call *ast.CallExpr) []*types.Func {
+	for _, c := range fi.Calls {
+		if c.Site == call {
+			return c.Targets
+		}
+	}
+	return nil
+}
+
+// lockCycles returns every elementary cycle class in the acquisition
+// graph, one representative per strongly connected component (plus
+// self-loops), deterministically ordered.
+func lockCycles(edges map[string]map[string]lockEdge) [][]string {
+	nodes := make([]string, 0, len(edges))
+	seen := make(map[string]bool)
+	for a, m := range edges {
+		if !seen[a] {
+			seen[a] = true
+			nodes = append(nodes, a)
+		}
+		for b := range m {
+			if !seen[b] {
+				seen[b] = true
+				nodes = append(nodes, b)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	succ := func(a string) []string {
+		m := edges[a]
+		out := make([]string, 0, len(m))
+		for b := range m {
+			out = append(out, b)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Tarjan over sorted nodes for deterministic SCCs.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ(v) {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	var cycles [][]string
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			v := scc[0]
+			if _, self := edges[v][v]; self {
+				cycles = append(cycles, []string{v})
+			}
+			continue
+		}
+		// Reconstruct one representative cycle through the SCC starting at
+		// its smallest node, following smallest successors inside the SCC.
+		in := make(map[string]bool, len(scc))
+		for _, v := range scc {
+			in[v] = true
+		}
+		start := scc[0]
+		cyc := []string{start}
+		visited := map[string]bool{start: true}
+		cur := start
+		for {
+			advanced := false
+			for _, w := range succ(cur) {
+				if !in[w] {
+					continue
+				}
+				if w == start && len(cyc) > 1 {
+					advanced = true
+					cur = start
+					break
+				}
+				if !visited[w] {
+					visited[w] = true
+					cyc = append(cyc, w)
+					cur = w
+					advanced = true
+					break
+				}
+			}
+			if !advanced || cur == start {
+				break
+			}
+		}
+		if len(cyc) > 1 && cur == start {
+			cycles = append(cycles, cyc)
+		} else {
+			// Fallback: report the SCC membership even if the greedy walk
+			// failed to close a simple loop (possible with >2 nodes).
+			cycles = append(cycles, scc)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i][0] < cycles[j][0] })
+	return cycles
+}

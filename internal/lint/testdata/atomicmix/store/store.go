@@ -1,0 +1,63 @@
+// Package store is the atomicmix corpus. Stats reproduces the shipped
+// group-commit bug shape: a counter bumped with sync/atomic on the hot
+// path and then read or reset plainly elsewhere — a data race the race
+// detector only catches when both paths run in the same test.
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Stats struct {
+	mu sync.Mutex
+
+	// commits is atomic on the hot path but touched plainly below: every
+	// plain access is a finding.
+	commits int64
+
+	// batches is consistently atomic: clean.
+	batches int64
+
+	// sealed is consistently plain under mu: clean.
+	sealed bool
+
+	// flushes is a typed atomic: the compiler already forbids plain
+	// access, so the analyzer stays silent.
+	flushes atomic.Int64
+}
+
+func (s *Stats) Commit() {
+	atomic.AddInt64(&s.commits, 1)
+}
+
+// Snapshot reads the hot-path counter without the atomic accessor.
+func (s *Stats) Snapshot() int64 {
+	return s.commits // want atomicmix
+}
+
+// Reset writes it plainly; the mutex does not help, the atomic adders
+// never take it.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits = 0 // want atomicmix
+}
+
+func (s *Stats) Batch()         { atomic.AddInt64(&s.batches, 1) }
+func (s *Stats) Batches() int64 { return atomic.LoadInt64(&s.batches) }
+
+func (s *Stats) Seal() {
+	s.mu.Lock()
+	s.sealed = true
+	s.mu.Unlock()
+}
+
+func (s *Stats) Flush() { s.flushes.Add(1) }
+
+// InitCommits is a deliberate pre-publication plain write; the
+// suppression must mute it.
+func (s *Stats) InitCommits(n int64) {
+	//aionlint:ignore atomicmix constructor runs before any goroutine can see s
+	s.commits = n // want suppressed(atomicmix)
+}

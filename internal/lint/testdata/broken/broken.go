@@ -1,0 +1,5 @@
+// Package broken fails to parse; the loader must surface the file
+// position as an error instead of panicking.
+package broken
+
+func oops( {

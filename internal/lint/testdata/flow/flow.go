@@ -1,0 +1,86 @@
+// Package flow is the call-graph/effects unit-test corpus: direct
+// calls, method calls, interface dispatch satisfied intra-module,
+// function values, goroutine spawns, lock effects and exit signals.
+// flow_test.go asserts over the resolved edges and computed summaries;
+// there are no findings here.
+package flow
+
+import (
+	"context"
+	"sync"
+)
+
+type Ringer interface{ Ring() }
+
+type Bell struct{ n int }
+
+func (b *Bell) Ring() { helper() }
+
+type Horn struct{}
+
+func (Horn) Ring() {}
+
+func helper() {}
+
+// CallIface dispatches through the interface: edges to every
+// intra-module implementation.
+func CallIface(r Ringer) { r.Ring() }
+
+// CallValue calls through a local function value.
+func CallValue() {
+	f := helper
+	f()
+}
+
+// CallMethod is a direct method call.
+func CallMethod(b *Bell) { b.Ring() }
+
+// Waiter observes a context: exit-aware.
+func Waiter(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Spinner loops forever with no exit signal.
+func Spinner() {
+	for {
+		helper()
+	}
+}
+
+// Spawner launches a goroutine.
+func Spawner(ctx context.Context) {
+	go Waiter(ctx)
+}
+
+type Box struct{ mu sync.Mutex }
+
+// Locked acquires the box lock.
+func (b *Box) Locked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// UseBox reaches the lock only through a call: the lock effect must
+// propagate bottom-up.
+func UseBox(b *Box) { b.Locked() }
+
+// Recurse is mutually recursive with Recurse2: the SCC fixpoint must
+// still converge and carry helper's (empty) effects plus the spawn.
+func Recurse(n int) {
+	if n > 0 {
+		Recurse2(n - 1)
+	}
+}
+
+func Recurse2(n int) {
+	go helper()
+	Recurse(n)
+}
+
+var _ = CallIface
+var _ = CallValue
+var _ = CallMethod
+var _ = Spawner
+var _ = Spinner
+var _ = UseBox
+var _ = Recurse

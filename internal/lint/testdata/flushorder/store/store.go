@@ -1,0 +1,109 @@
+// Package store is the flushorder corpus. It imports the real wal,
+// strstore and enc packages and reproduces the PR 6 recovery bug: the
+// codec interns strings into the table's user-space buffer, and a WAL
+// append lands before any Flush — a kill -9 between the two persists log
+// records whose string refs dangle.
+package store
+
+import (
+	"aion/internal/enc"
+	"aion/internal/model"
+	"aion/internal/strstore"
+	"aion/internal/wal"
+)
+
+type DB struct {
+	strings *strstore.Store
+	codec   *enc.Codec
+	log     *wal.Log
+}
+
+// commitUnflushed is the bug as shipped: encode (which interns), then
+// append, no flush between.
+func (db *DB) commitUnflushed(u model.Update) error {
+	payload, err := db.codec.AppendUpdate(nil, u)
+	if err != nil {
+		return err
+	}
+	if _, err := db.log.Append(payload); err != nil { // want flushorder
+		return err
+	}
+	return nil
+}
+
+// commitFlushed is the fix: the string-table Flush dominates the append.
+func (db *DB) commitFlushed(u model.Update) error {
+	payload, err := db.codec.AppendUpdate(nil, u)
+	if err != nil {
+		return err
+	}
+	if err := db.strings.Flush(); err != nil {
+		return err
+	}
+	if _, err := db.log.Append(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encode interns behind a helper: its effect summary must carry the
+// dirtiness up to callers.
+func (db *DB) encode(u model.Update) ([]byte, error) {
+	return db.codec.AppendUpdate(nil, u)
+}
+
+// appendRaw appends behind a helper: reaching the WAL through a call
+// must count the same as calling it directly.
+func (db *DB) appendRaw(payload []byte) error {
+	_, err := db.log.Append(payload)
+	return err
+}
+
+// commitViaHelpers is the same bug split across two call edges.
+func (db *DB) commitViaHelpers(u model.Update) error {
+	payload, err := db.encode(u)
+	if err != nil {
+		return err
+	}
+	return db.appendRaw(payload) // want flushorder
+}
+
+// internThenAppend interns directly rather than through the codec.
+func (db *DB) internThenAppend(s string) error {
+	if _, err := db.strings.Intern(s); err != nil {
+		return err
+	}
+	return db.appendRaw(nil) // want flushorder
+}
+
+// appendShipped appends frames that were encoded and flushed elsewhere
+// (the replication-apply shape): nothing interned here, clean.
+func (db *DB) appendShipped(frames [][]byte) error {
+	_, err := db.log.AppendBatch(frames)
+	return err
+}
+
+// earlyReturnClean flushes on every path that reaches the append.
+func (db *DB) earlyReturnClean(u model.Update, skip bool) error {
+	payload, err := db.encode(u)
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	if err := db.strings.Flush(); err != nil {
+		return err
+	}
+	return db.appendRaw(payload)
+}
+
+// spawnedEncode interns only on a different goroutine: the append on
+// this one is clean (the spawned work is that goroutine's problem, and
+// it flushes before its own append).
+func (db *DB) spawnedEncode(u model.Update) error {
+	go func() {
+		_ = db.commitFlushed(u)
+	}()
+	return db.appendRaw(nil)
+}

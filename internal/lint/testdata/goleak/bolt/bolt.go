@@ -1,0 +1,82 @@
+// Package bolt is the goleak corpus: goroutines launched from the
+// ctx-taking serving path must have a visible exit — a select on
+// ctx.Done(), a receive from (or range over) a close-able channel —
+// directly or in a callee. Bare for{} spinners are findings.
+package bolt
+
+import "context"
+
+type Server struct {
+	queue chan int
+	done  chan struct{}
+}
+
+func work() {}
+
+// spin loops forever with no exit signal anywhere.
+func (s *Server) spin() {
+	for {
+		work()
+	}
+}
+
+// pump exits when the queue is closed.
+func (s *Server) pump() {
+	for v := range s.queue {
+		_ = v
+	}
+}
+
+// wait delegates exit-awareness to a callee-visible ctx receive.
+func wait(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// recvOne blocks on a close-able channel: callees like this make an
+// enclosing loop exit-aware through the effect summaries.
+func (s *Server) recvOne() {
+	<-s.done
+}
+
+func (s *Server) Serve(ctx context.Context) {
+	go func() { // want goleak
+		for {
+			work()
+		}
+	}()
+	go func() { // clean: selects on ctx.Done
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.queue:
+				_ = v
+			}
+		}
+	}()
+	go s.spin() // want goleak
+	go s.pump() // clean: ranges over a close-able channel
+	go func() { // clean: callee observes ctx
+		for {
+			wait(ctx)
+		}
+	}()
+	go func() { // clean: callee receives from a close-able channel
+		for {
+			s.recvOne()
+		}
+	}()
+	go func() { // clean: straight-line body terminates by itself
+		work()
+		close(s.done)
+	}()
+	//aionlint:ignore goleak metrics spinner exits with the process by design
+	go s.spin() // want suppressed(goleak)
+}
+
+// background takes no ctx: outside the gate, silent even for a spinner.
+func (s *Server) background() {
+	go s.spin()
+}
+
+var _ = (*Server).background

@@ -1,0 +1,90 @@
+// Package store is the lockorder corpus: two struct-level mutexes taken
+// in opposite orders on two code paths (one order direct, the other
+// crossing a call edge) form a cycle; a consistently ordered pair and a
+// re-entrant self-acquisition round out the cases.
+package store
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+// lockAB takes A.mu then B.mu directly.
+func (a *A) lockAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock() // want lockorder
+	a.b.mu.Unlock()
+}
+
+// lockBA takes B.mu and then reaches A.mu through touch: the reverse
+// edge crosses the call, which only the effect summaries can see.
+func (b *B) lockBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.touch()
+}
+
+func (a *A) touch() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// C/D are always locked in the same order from both paths: acyclic,
+// no findings.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func ordered1(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func ordered2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// R re-acquires its own (type-level) lock through a call: a self-loop,
+// which is a deadlock if both receivers are the same instance.
+type R struct{ mu sync.Mutex }
+
+func (r *R) outer(other *R) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	other.inner() // want lockorder
+}
+
+func (r *R) inner() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// spawned goroutines start with an empty held set: no A->B edge here
+// even though the go statement sits between Lock and Unlock.
+func (a *A) spawnClean() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		a.b.freshen()
+	}()
+}
+
+func (b *B) freshen() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+var _ = ordered1
+var _ = ordered2

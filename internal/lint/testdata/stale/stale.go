@@ -1,0 +1,7 @@
+// Package stale exercises stale-suppression detection: when the full
+// analyzer suite runs, a well-formed directive that matches no finding
+// is itself reported, so dead suppressions cannot accumulate.
+package stale
+
+//aionlint:ignore lockio nothing here does I/O under a lock any more // want ignore
+var X = 1
